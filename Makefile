@@ -1,0 +1,35 @@
+# paragonio — reproduction of Smirni et al., HPDC 1996.
+GO ?= go
+
+.PHONY: all build test test-short vet fmt bench tables experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# One regeneration of every paper artifact benchmark and ablation.
+bench:
+	$(GO) test -run NONE -bench=. -benchmem -benchtime=1x .
+
+# Regenerate the paper's tables and figures to stdout (and artifacts/).
+tables:
+	$(GO) run ./cmd/iotables -out artifacts
+
+experiments:
+	$(GO) run ./cmd/iotables -summary
+
+clean:
+	rm -rf artifacts

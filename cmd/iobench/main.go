@@ -1,0 +1,96 @@
+// Command iobench runs the derived parallel-I/O benchmark suite — the
+// paper's stated future work — sweeping canonical access-pattern
+// kernels across PFS modes, request sizes, and machine configurations.
+//
+// Usage:
+//
+//	iobench                       # all kernels x all modes (default sizes)
+//	iobench -kernel strided-reload -sweep modes
+//	iobench -kernel staging-write  -sweep request -mode M_ASYNC
+//	iobench -kernel compulsory-read -sweep ionodes -mode M_GLOBAL
+//	iobench -nodes 64 -volume 67108864 -request 131072
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paragonio/internal/iobench"
+	"paragonio/internal/pfs"
+)
+
+func main() {
+	var (
+		kernel  = flag.String("kernel", "", "kernel slug (empty = all)")
+		sweep   = flag.String("sweep", "modes", "sweep dimension: modes, request, ionodes")
+		mode    = flag.String("mode", "M_ASYNC", "access mode for request/ionodes sweeps")
+		nodes   = flag.Int("nodes", 32, "compute nodes")
+		request = flag.Int64("request", 128<<10, "request size (bytes)")
+		volume  = flag.Int64("volume", 32<<20, "total bytes per kernel")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	if err := run(*kernel, *sweep, *mode, *nodes, *request, *volume, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "iobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kernel, sweep, modeName string, nodes int, request, volume, seed int64) error {
+	var kernels []iobench.Kernel
+	if kernel == "" {
+		kernels = iobench.Kernels()
+	} else {
+		var found bool
+		for _, k := range iobench.Kernels() {
+			if k.String() == kernel {
+				kernels = append(kernels, k)
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown kernel %q (try strided-reload, staging-write, ...)", kernel)
+		}
+	}
+	mode, err := pfs.ParseMode(modeName)
+	if err != nil {
+		return err
+	}
+	for _, k := range kernels {
+		base := iobench.Params{
+			Kernel: k, Mode: mode, Nodes: nodes,
+			Request: request, Volume: volume, Seed: seed,
+		}
+		var results []*iobench.Result
+		var label func(*iobench.Result) string
+		switch sweep {
+		case "modes":
+			results, err = iobench.SweepModes(base)
+			label = func(r *iobench.Result) string { return r.Params.Mode.String() }
+		case "request":
+			results, err = iobench.SweepRequestSizes(base,
+				[]int64{4 << 10, 16 << 10, 64 << 10, 128 << 10, 512 << 10})
+			label = func(r *iobench.Result) string {
+				return fmt.Sprintf("%d KB", r.Params.Request>>10)
+			}
+		case "ionodes":
+			results, err = iobench.SweepIONodes(base, []int{2, 4, 8, 16, 32})
+			label = func(r *iobench.Result) string {
+				return fmt.Sprintf("%d io nodes", r.Params.IONodes)
+			}
+		default:
+			return fmt.Errorf("unknown sweep %q", sweep)
+		}
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("%s: %d nodes, %d KB requests, %d MB volume (sweep: %s)",
+			k, nodes, request>>10, volume>>20, sweep)
+		if err := iobench.WriteTable(os.Stdout, title, results, label); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

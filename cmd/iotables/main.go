@@ -1,0 +1,86 @@
+// Command iotables regenerates every table and figure of the paper's
+// evaluation from fresh simulated runs and prints each artifact with a
+// paper-vs-measured comparison.
+//
+// Usage:
+//
+//	iotables                  # all of tables 1-5 and figures 1-9
+//	iotables -only table2,figure5
+//	iotables -seed 7 -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"paragonio/internal/experiments"
+)
+
+func main() {
+	var (
+		only    = flag.String("only", "", "comma-separated experiment ids (e.g. table2,figure5)")
+		seed    = flag.Int64("seed", 1, "workload random seed")
+		summary = flag.Bool("summary", false, "print only the per-experiment metric comparisons")
+		outDir  = flag.String("out", "", "also write each artifact to <dir>/<id>.txt")
+	)
+	flag.Parse()
+	if err := run(*only, *seed, *summary, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "iotables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(only string, seed int64, summary bool, outDir string) error {
+	wanted := map[string]bool{}
+	if only != "" {
+		for _, id := range strings.Split(only, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := experiments.ByID(id); !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			wanted[id] = true
+		}
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	suite := experiments.NewSuite(seed)
+	for _, e := range experiments.All() {
+		if len(wanted) > 0 && !wanted[e.ID] {
+			continue
+		}
+		art, err := e.Run(suite)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("################ %s — %s ################\n\n", e.ID, e.Title)
+		if summary {
+			for _, k := range art.MetricKeys() {
+				fmt.Printf("  %-32s paper %10.2f   measured %10.2f\n",
+					k, art.Paper[k], art.Measured[k])
+			}
+		} else {
+			fmt.Println(art.Text)
+		}
+		if art.Notes != "" {
+			fmt.Printf("notes: %s\n", art.Notes)
+		}
+		fmt.Println()
+		if outDir != "" {
+			body := art.Title + "\n\n" + art.Text
+			if art.Notes != "" {
+				body += "\nnotes: " + art.Notes + "\n"
+			}
+			path := filepath.Join(outDir, art.ID+".txt")
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

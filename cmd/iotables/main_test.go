@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run("table99", 1, true, ""); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleExperimentToDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full-size workload")
+	}
+	dir := t.TempDir()
+	// table4 is cheap: PRISM mode tables need no simulation runs beyond
+	// configuration rendering... it still renders from static configs.
+	if err := run("table4", 1, true, dir); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(filepath.Join(dir, "table4.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "M_GLOBAL") {
+		t.Fatalf("artifact content unexpected:\n%s", body)
+	}
+}

@@ -1,0 +1,16 @@
+// Package paragonio reproduces "I/O Requirements of Scientific
+// Applications: An Evolutionary View" (Smirni, Aydt, Chien, Reed — HPDC
+// 1996): a deterministic simulation of the Intel Paragon XP/S and its
+// Parallel File System, Pablo-style I/O instrumentation, synthetic
+// replicas of the ESCAT and PRISM applications across their code
+// versions, and an experiment harness that regenerates every table and
+// figure of the paper's evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmark harness in bench_test.go regenerates each artifact:
+//
+//	go test -bench=Table -benchtime=1x
+//	go test -bench=Figure -benchtime=1x
+//	go test -bench=Ablation -benchtime=1x
+package paragonio

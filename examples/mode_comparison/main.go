@@ -1,0 +1,110 @@
+// mode_comparison exercises every PFS access mode on the same workload
+// shape — 32 nodes collectively reading a striped 32 MB file — and
+// reports the wall time and summed operation time of each. It makes the
+// paper's section 3.2 concrete: mode choice alone swings performance by
+// orders of magnitude.
+//
+//	go run ./examples/mode_comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"paragonio/internal/core"
+	"paragonio/internal/pfs"
+	"paragonio/internal/report"
+	"paragonio/internal/workload"
+)
+
+const (
+	nodes    = 32
+	fileSize = 32 << 20
+	request  = 2 * pfs.DefaultStripeUnit // 128 KB: two stripes, the sweet spot
+)
+
+func main() {
+	type outcome struct {
+		mode   string
+		wall   float64
+		summed float64
+	}
+	var outcomes []outcome
+	for _, mode := range []pfs.Mode{pfs.MUnix, pfs.MAsync, pfs.MRecord, pfs.MGlobal, pfs.MSync, pfs.MLog} {
+		res, err := core.Run(core.Config{Nodes: nodes, Seed: 1}, "modes", mode.String(),
+			func(m *workload.Machine, seed int64) error { return script(m, mode) })
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcomes = append(outcomes, outcome{
+			mode:   mode.String(),
+			wall:   res.Exec.Seconds(),
+			summed: res.IOTime().Seconds(),
+		})
+	}
+	var rows [][]string
+	for _, o := range outcomes {
+		rows = append(rows, []string{o.mode,
+			fmt.Sprintf("%.2f s", o.wall), fmt.Sprintf("%.2f s", o.summed)})
+	}
+	if err := report.Table(os.Stdout,
+		fmt.Sprintf("%d nodes reading a %d MB striped file in %d KB requests",
+			nodes, fileSize>>20, request>>10),
+		[]string{"Mode", "wall time", "summed op time"}, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("Reading guide:")
+	fmt.Println("  M_UNIX   — atomicity token serializes everything")
+	fmt.Println("  M_ASYNC  — nodes read disjoint slabs with no coordination: fastest")
+	fmt.Println("  M_RECORD — node-ordered stripe-aligned records: nearly as fast, structured")
+	fmt.Println("  M_GLOBAL — everyone gets *the same* data once per round (different semantics:")
+	fmt.Println("             one disk I/O + broadcast per round)")
+	fmt.Println("  M_SYNC   — shared pointer, node-ordered rounds: synchronization-bound")
+	fmt.Println("  M_LOG    — shared pointer, FCFS: serialization without the order guarantees")
+}
+
+// script has every node move fileSize/nodes bytes according to the mode's
+// semantics: disjoint slabs where pointers allow it, collective rounds
+// otherwise.
+func script(m *workload.Machine, mode pfs.Mode) error {
+	m.FS.CreateFile("data", fileSize)
+	ids := make([]int, nodes)
+	for i := range ids {
+		ids[i] = i
+	}
+	group, err := m.FS.NewGroup(ids)
+	if err != nil {
+		return err
+	}
+	perNode := int64(fileSize / nodes)
+	rounds := int(perNode / request)
+	m.SpawnNodes(1, func(n *workload.Node) {
+		// Open collectively in every mode so the comparison isolates the
+		// data-path semantics (32 individual opens would serialize at the
+		// metadata service and swamp the differences — itself a lesson
+		// from the paper's version A profiles).
+		h, err := group.Gopen(n.P, n.ID, "data", mode)
+		if err != nil {
+			panic(err)
+		}
+		h.SetBuffering(false)
+		// Per-process-pointer modes read a private slab; shared-pointer
+		// and record modes just issue their rounds.
+		if mode == pfs.MUnix || mode == pfs.MAsync {
+			if err := h.Seek(n.P, int64(n.ID)*perNode); err != nil {
+				panic(err)
+			}
+		}
+		for r := 0; r < rounds; r++ {
+			if _, err := h.Read(n.P, request); err != nil {
+				panic(err)
+			}
+		}
+		if err := h.Close(n.P); err != nil {
+			panic(err)
+		}
+	})
+	return nil
+}

@@ -1,0 +1,3 @@
+module paragonio
+
+go 1.22

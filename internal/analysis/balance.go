@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"time"
+
+	"paragonio/internal/disk"
+	"paragonio/internal/stats"
+)
+
+// Balance summarizes how evenly work spread across the I/O nodes — the
+// quantity striping exists to maximize.
+type Balance struct {
+	IONodes    int
+	TotalBytes int64
+	TotalBusy  time.Duration
+	// MaxOverMean is the hot-spot factor: busiest node's busy time over
+	// the mean (1.0 = perfectly balanced).
+	MaxOverMean float64
+	// BytesCV is the coefficient of variation of per-node bytes moved.
+	BytesCV float64
+	// Idle is the number of I/O nodes that served no requests.
+	Idle int
+}
+
+// IONodeBalance computes balance metrics from per-I/O-node disk stats
+// (core.Result.IONodes). An empty slice yields the zero Balance.
+func IONodeBalance(s []disk.Stats) Balance {
+	b := Balance{IONodes: len(s)}
+	if len(s) == 0 {
+		return b
+	}
+	busy := make([]float64, len(s))
+	bytes := make([]float64, len(s))
+	var maxBusy float64
+	for i, st := range s {
+		busy[i] = st.Busy.Seconds()
+		bytes[i] = float64(st.BytesMoved)
+		b.TotalBytes += st.BytesMoved
+		b.TotalBusy += st.Busy
+		if busy[i] > maxBusy {
+			maxBusy = busy[i]
+		}
+		if st.Requests == 0 {
+			b.Idle++
+		}
+	}
+	meanBusy := b.TotalBusy.Seconds() / float64(len(s))
+	if meanBusy > 0 {
+		b.MaxOverMean = maxBusy / meanBusy
+	}
+	b.BytesCV = stats.CV(bytes)
+	return b
+}

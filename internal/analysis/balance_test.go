@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"paragonio/internal/disk"
+)
+
+func TestIONodeBalanceEmpty(t *testing.T) {
+	b := IONodeBalance(nil)
+	if b.IONodes != 0 || b.TotalBytes != 0 || b.MaxOverMean != 0 {
+		t.Fatalf("empty balance = %+v", b)
+	}
+}
+
+func TestIONodeBalancePerfect(t *testing.T) {
+	s := make([]disk.Stats, 4)
+	for i := range s {
+		s[i] = disk.Stats{Requests: 10, BytesMoved: 1000, Busy: time.Second}
+	}
+	b := IONodeBalance(s)
+	if b.IONodes != 4 || b.TotalBytes != 4000 || b.TotalBusy != 4*time.Second {
+		t.Fatalf("totals: %+v", b)
+	}
+	if b.MaxOverMean != 1 {
+		t.Fatalf("MaxOverMean = %g, want 1", b.MaxOverMean)
+	}
+	if b.BytesCV != 0 {
+		t.Fatalf("BytesCV = %g, want 0", b.BytesCV)
+	}
+	if b.Idle != 0 {
+		t.Fatalf("Idle = %d", b.Idle)
+	}
+}
+
+func TestIONodeBalanceHotSpot(t *testing.T) {
+	s := []disk.Stats{
+		{Requests: 100, BytesMoved: 10000, Busy: 9 * time.Second},
+		{Requests: 1, BytesMoved: 100, Busy: time.Second},
+		{}, // idle
+		{},
+	}
+	b := IONodeBalance(s)
+	if b.Idle != 2 {
+		t.Fatalf("Idle = %d, want 2", b.Idle)
+	}
+	// mean busy = 2.5s, max 9s -> 3.6.
+	if b.MaxOverMean < 3.5 || b.MaxOverMean > 3.7 {
+		t.Fatalf("MaxOverMean = %g", b.MaxOverMean)
+	}
+	if b.BytesCV <= 1 {
+		t.Fatalf("BytesCV = %g, want > 1 for a hot spot", b.BytesCV)
+	}
+}

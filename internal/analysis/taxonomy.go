@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"paragonio/internal/pablo"
+)
+
+// Category is the Miller & Katz high-level I/O classification the paper
+// builds on (section 2): compulsory, checkpoint, and data-staging I/O —
+// extended with the periodic-output and result classes the two studied
+// applications exhibit.
+type Category int
+
+const (
+	// CompulsoryInput: read-only files consumed at the start of the run
+	// (problem definitions, restart state).
+	CompulsoryInput Category = iota
+	// DataStaging: files written and then read back within the run —
+	// ESCAT's out-of-core quadrature scratch files.
+	DataStaging
+	// Checkpointing: write-only files rewritten periodically (the same
+	// region dumped again and again) — PRISM's checkpoint file.
+	Checkpointing
+	// PeriodicOutput: write-only append streams spread through the whole
+	// run — measurement, history and statistics files.
+	PeriodicOutput
+	// ResultOutput: write-only files produced at the end of the run.
+	ResultOutput
+	// Other: activity matching none of the above.
+	Other
+)
+
+var categoryNames = map[Category]string{
+	CompulsoryInput: "compulsory-input",
+	DataStaging:     "data-staging",
+	Checkpointing:   "checkpointing",
+	PeriodicOutput:  "periodic-output",
+	ResultOutput:    "result-output",
+	Other:           "other",
+}
+
+// String returns the category slug.
+func (c Category) String() string { return categoryNames[c] }
+
+// FileClass is one file's classification with its supporting evidence.
+type FileClass struct {
+	File         string
+	Category     Category
+	Why          string
+	Reads        int
+	Writes       int
+	BytesRead    int64
+	BytesWritten int64
+	IOTime       time.Duration
+}
+
+// ClassifyTaxonomy assigns each file in the trace to a high-level I/O
+// class, using the run's span for early/late judgments. Files are
+// returned sorted by name.
+func ClassifyTaxonomy(tr *pablo.Trace, exec time.Duration) []FileClass {
+	if exec <= 0 {
+		if _, end := tr.Span(); end > 0 {
+			exec = end
+		} else {
+			exec = 1
+		}
+	}
+	type acc struct {
+		fc          FileClass
+		readStarts  []time.Duration
+		writeStarts []time.Duration
+		writeOffs   map[int64]int
+		overwrites  int
+	}
+	byFile := map[string]*acc{}
+	for _, ev := range tr.Events() {
+		if ev.File == "" {
+			continue
+		}
+		a := byFile[ev.File]
+		if a == nil {
+			a = &acc{fc: FileClass{File: ev.File}, writeOffs: map[int64]int{}}
+			byFile[ev.File] = a
+		}
+		a.fc.IOTime += ev.Duration
+		switch ev.Op {
+		case pablo.OpRead:
+			if ev.Size > 0 {
+				a.fc.Reads++
+				a.fc.BytesRead += ev.Size
+				a.readStarts = append(a.readStarts, ev.Start)
+			}
+		case pablo.OpWrite:
+			if ev.Size > 0 {
+				a.fc.Writes++
+				a.fc.BytesWritten += ev.Size
+				a.writeStarts = append(a.writeStarts, ev.Start)
+				a.writeOffs[ev.Offset]++
+				if a.writeOffs[ev.Offset] > 1 {
+					a.overwrites++
+				}
+			}
+		}
+	}
+	median := func(ts []time.Duration) time.Duration {
+		if len(ts) == 0 {
+			return 0
+		}
+		s := append([]time.Duration(nil), ts...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[len(s)/2]
+	}
+	span := func(ts []time.Duration) time.Duration {
+		if len(ts) < 2 {
+			return 0
+		}
+		s := append([]time.Duration(nil), ts...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[len(s)-1] - s[0]
+	}
+	var out []FileClass
+	for _, a := range byFile {
+		fc := a.fc
+		switch {
+		case fc.Reads > 0 && fc.Writes > 0:
+			fc.Category = DataStaging
+			fc.Why = fmt.Sprintf("written (%d ops) and read back (%d ops) within the run",
+				fc.Writes, fc.Reads)
+		case fc.Reads > 0:
+			if median(a.readStarts) < exec*35/100 {
+				fc.Category = CompulsoryInput
+				fc.Why = "read-only, consumed in the first third of the run"
+			} else {
+				fc.Category = Other
+				fc.Why = "read-only, but read late in the run"
+			}
+		case fc.Writes > 0:
+			switch {
+			case a.overwrites > 0:
+				fc.Category = Checkpointing
+				fc.Why = fmt.Sprintf("write-only with %d overwrites of earlier regions (periodic state dumps)",
+					a.overwrites)
+			case span(a.writeStarts) > exec/2:
+				fc.Category = PeriodicOutput
+				fc.Why = "write-only append stream spanning most of the run"
+			case median(a.writeStarts) > exec/2:
+				fc.Category = ResultOutput
+				fc.Why = "write-only, produced in the second half of the run"
+			default:
+				fc.Category = Other
+				fc.Why = "write-only early burst"
+			}
+		default:
+			fc.Category = Other
+			fc.Why = "metadata-only activity"
+		}
+		out = append(out, fc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].File < out[j].File })
+	return out
+}
+
+// TaxonomyTotals aggregates bytes and I/O time per category.
+func TaxonomyTotals(classes []FileClass) map[Category]FileClass {
+	out := map[Category]FileClass{}
+	for _, fc := range classes {
+		t := out[fc.Category]
+		t.Category = fc.Category
+		t.Reads += fc.Reads
+		t.Writes += fc.Writes
+		t.BytesRead += fc.BytesRead
+		t.BytesWritten += fc.BytesWritten
+		t.IOTime += fc.IOTime
+		out[fc.Category] = t
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"paragonio/internal/pablo"
+)
+
+func taxEv(op pablo.Op, file string, off, size int64, start time.Duration) pablo.Event {
+	return pablo.Event{Node: 0, Op: op, File: file, Offset: off, Size: size,
+		Start: start, Duration: time.Millisecond}
+}
+
+func classOf(t *testing.T, classes []FileClass, file string) FileClass {
+	t.Helper()
+	for _, fc := range classes {
+		if fc.File == file {
+			return fc
+		}
+	}
+	t.Fatalf("no class for %s", file)
+	return FileClass{}
+}
+
+func TestClassifyTaxonomyCategories(t *testing.T) {
+	const exec = 1000 * time.Second
+	tr := pablo.NewTrace()
+	// input: read-only, early.
+	for i := 0; i < 10; i++ {
+		tr.Record(taxEv(pablo.OpRead, "input", int64(i)*100, 100, time.Duration(i)*time.Second))
+	}
+	// scratch: written mid-run, read back late -> staging.
+	for i := 0; i < 5; i++ {
+		tr.Record(taxEv(pablo.OpWrite, "scratch", int64(i)*1000, 1000, 300*time.Second))
+		tr.Record(taxEv(pablo.OpRead, "scratch", int64(i)*1000, 1000, 800*time.Second))
+	}
+	// chk: write-only, same offsets rewritten -> checkpointing.
+	for cp := 0; cp < 4; cp++ {
+		for r := 0; r < 3; r++ {
+			tr.Record(taxEv(pablo.OpWrite, "chk", int64(r)*4096, 4096,
+				time.Duration(200+cp*200)*time.Second))
+		}
+	}
+	// log: write-only appends across the whole run -> periodic output.
+	for i := 0; i < 20; i++ {
+		tr.Record(taxEv(pablo.OpWrite, "log", int64(i)*64, 64, time.Duration(i)*50*time.Second))
+	}
+	// result: write-only at the end.
+	for i := 0; i < 5; i++ {
+		tr.Record(taxEv(pablo.OpWrite, "result", int64(i)*2048, 2048, 950*time.Second))
+	}
+	// lateread: read-only but late -> other.
+	tr.Record(taxEv(pablo.OpRead, "lateread", 0, 10, 900*time.Second))
+	// metaonly: opens only.
+	tr.Record(taxEv(pablo.OpOpen, "metaonly", 0, 0, 0))
+
+	classes := ClassifyTaxonomy(tr, exec)
+	want := map[string]Category{
+		"input":    CompulsoryInput,
+		"scratch":  DataStaging,
+		"chk":      Checkpointing,
+		"log":      PeriodicOutput,
+		"result":   ResultOutput,
+		"lateread": Other,
+		"metaonly": Other,
+	}
+	for file, cat := range want {
+		if got := classOf(t, classes, file); got.Category != cat {
+			t.Errorf("%s classified %s (%s), want %s", file, got.Category, got.Why, cat)
+		}
+	}
+	// Totals conserve bytes.
+	totals := TaxonomyTotals(classes)
+	var bytes int64
+	for _, tc := range totals {
+		bytes += tc.BytesRead + tc.BytesWritten
+	}
+	var expect int64
+	for _, ev := range tr.Events() {
+		if ev.Op == pablo.OpRead || ev.Op == pablo.OpWrite {
+			expect += ev.Size
+		}
+	}
+	if bytes != expect {
+		t.Fatalf("totals move %d bytes, want %d", bytes, expect)
+	}
+}
+
+func TestClassifyTaxonomyZeroExecDerivesSpan(t *testing.T) {
+	tr := pablo.NewTrace()
+	tr.Record(taxEv(pablo.OpRead, "f", 0, 10, time.Second))
+	classes := ClassifyTaxonomy(tr, 0)
+	if len(classes) != 1 {
+		t.Fatalf("classes = %d", len(classes))
+	}
+}
+
+func TestClassifyTaxonomySortedByName(t *testing.T) {
+	tr := pablo.NewTrace()
+	tr.Record(taxEv(pablo.OpRead, "zzz", 0, 10, 0))
+	tr.Record(taxEv(pablo.OpRead, "aaa", 0, 10, 0))
+	classes := ClassifyTaxonomy(tr, time.Minute)
+	if classes[0].File != "aaa" || classes[1].File != "zzz" {
+		t.Fatalf("not sorted: %v", classes)
+	}
+}

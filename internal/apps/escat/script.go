@@ -1,0 +1,342 @@
+package escat
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"paragonio/internal/pfs"
+	"paragonio/internal/workload"
+)
+
+// File names used by the workload.
+func inputName(i int) string { return fmt.Sprintf("escat/input.%d", i) }
+func quadName(ch int) string { return fmt.Sprintf("escat/quad.%d", ch) }
+func outName(ch int) string  { return fmt.Sprintf("escat/out.%d", ch) }
+
+// Script installs the ESCAT workload on the machine: it preloads the
+// input files, spawns one process per node, and drives the four phases
+// according to the version's structure. The kernel is run by the caller.
+func Script(m *workload.Machine, d Dataset, v Version, seed int64) error {
+	if m.Nodes != d.Nodes {
+		return fmt.Errorf("escat: machine has %d nodes, dataset needs %d", m.Nodes, d.Nodes)
+	}
+	for i := 0; i < d.InputFiles; i++ {
+		// Headroom over the expected size so the randomized header reads
+		// never clamp at EOF.
+		m.FS.CreateFile(inputName(i), d.InputBytesPerFile()*2)
+	}
+	if v.RestartStaged {
+		// Quadrature data was staged by a previous run of the same
+		// problem; phase two is skipped.
+		for ch := 0; ch < d.Channels; ch++ {
+			m.FS.CreateFile(quadName(ch), d.QuadBytes())
+		}
+	}
+	all := m.NewCollective("escat-all", d.Nodes)
+	var group *pfs.Group
+	if v.Phase2AllNodes || v.Phase3Record {
+		nodes := make([]int, d.Nodes)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		var err error
+		group, err = m.FS.NewGroup(nodes)
+		if err != nil {
+			return err
+		}
+	}
+	// Header read sizes are a property of the input files' contents, so
+	// every node issues the identical request sequence (the signature a
+	// smarter file system would recognize as a broadcast-worthy global
+	// read). Derive them once per file from the run seed.
+	headerSizes := make([][]int64, d.InputFiles)
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	for i := range headerSizes {
+		sizes := make([]int64, d.HeaderReads)
+		for r := range sizes {
+			sizes[r] = d.HeaderSizes.Next(rng)
+		}
+		headerSizes[i] = sizes
+	}
+	m.SpawnNodes(seed, func(n *workload.Node) {
+		runNode(n, d, v, all, group, headerSizes)
+	})
+	return nil
+}
+
+// scaled applies the version's compute scale.
+func scaled(v Version, t time.Duration) time.Duration {
+	return time.Duration(float64(t) * v.ComputeScale)
+}
+
+func runNode(n *workload.Node, d Dataset, v Version, all *workload.Collective, g *pfs.Group, headerSizes [][]int64) {
+	phase1(n, d, v, all, headerSizes)
+	phase2(n, d, v, all, g)
+	phase3(n, d, v, all, g)
+	phase4(n, d, v, all)
+}
+
+// phase1 reads the initialization files (compulsory I/O). Version A:
+// every node opens and reads them through M_UNIX, serializing on the
+// file tokens. Versions B/C: node zero reads and broadcasts.
+func phase1(n *workload.Node, d Dataset, v Version, all *workload.Collective, headerSizes [][]int64) {
+	if n.ID == 0 {
+		n.M.BeginPhase("one: initialization reads")
+	}
+	n.ComputeJitter(scaled(v, d.SetupCompute), d.CycleJitter/4)
+	if v.Phase1AllNodes {
+		readInputs(n, d, headerSizes)
+		all.Barrier(n)
+		return
+	}
+	if n.ID == 0 {
+		readInputs(n, d, headerSizes)
+	}
+	all.Broadcast(n, 0, int64(d.InputFiles)*d.InputBytesPerFile())
+}
+
+// readInputs opens and reads every input file: the header as a long run
+// of small reads, then the few large matrix reads (with a repositioning
+// seek before each, as the original code's record-structured input did).
+func readInputs(n *workload.Node, d Dataset, headerSizes [][]int64) {
+	p := n.P
+	for i := 0; i < d.InputFiles; i++ {
+		h, err := n.M.FS.Open(p, n.ID, inputName(i), pfs.MUnix)
+		if err != nil {
+			panic(err)
+		}
+		for _, sz := range headerSizes[i] {
+			if _, err := h.Read(p, sz); err != nil {
+				panic(err)
+			}
+		}
+		var off int64 = 0
+		// Matrices sit at the end of the file; position and read each.
+		matBase := d.InputBytesPerFile()
+		for _, s := range d.MatrixReadSizes {
+			matBase -= s
+		}
+		off = matBase
+		for _, s := range d.MatrixReadSizes {
+			if err := h.Seek(p, off); err != nil {
+				panic(err)
+			}
+			if _, err := h.Read(p, s); err != nil {
+				panic(err)
+			}
+			off += s
+		}
+		if err := h.Close(p); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// phase2 generates and stages the quadrature data (data staging): a
+// series of compute/write cycles with synchronized write steps.
+func phase2(n *workload.Node, d Dataset, v Version, all *workload.Collective, g *pfs.Group) {
+	p := n.P
+	all.Barrier(n)
+	if n.ID == 0 {
+		n.M.BeginPhase("two: quadrature staging writes")
+	}
+	if v.RestartStaged {
+		return // staged by a previous run
+	}
+	for ch := 0; ch < d.Channels; ch++ {
+		if v.Phase2AllNodes {
+			// B/C: every node writes its own interleaved slots.
+			var h *pfs.Handle
+			var err error
+			if v.UseGopen {
+				h, err = g.Gopen(p, n.ID, quadName(ch), pfs.MUnix)
+			} else {
+				h, err = n.M.FS.Open(p, n.ID, quadName(ch), pfs.MUnix)
+			}
+			if err != nil {
+				panic(err)
+			}
+			if v.UseIOMode {
+				if err := g.SetIOMode(p, h, v.Phase2Mode); err != nil {
+					panic(err)
+				}
+			}
+			for cyc := 0; cyc < d.Cycles; cyc++ {
+				n.ComputeJitter(scaled(v, d.CycleCompute), d.CycleJitter)
+				all.Barrier(n) // write steps are synchronized among nodes
+				for w := 0; w < d.WritesPerCycle; w++ {
+					slot := (int64(cyc)*int64(d.WritesPerCycle)+int64(w))*int64(d.Nodes) + int64(n.ID)
+					off := slot * d.WriteSize
+					// Position to the computed offset (node number,
+					// iteration, stripe size), write, then reposition the
+					// pointer past the region for the next iteration's
+					// bookkeeping — two pointer operations per write.
+					if err := h.Seek(p, off); err != nil {
+						panic(err)
+					}
+					if _, err := h.Write(p, d.WriteSize); err != nil {
+						panic(err)
+					}
+					for s := 1; s < v.SeeksPerWrite; s++ {
+						if err := h.Seek(p, off+d.WriteSize); err != nil {
+							panic(err)
+						}
+					}
+				}
+			}
+			if err := h.Close(p); err != nil {
+				panic(err)
+			}
+			continue
+		}
+		// A: all nodes compute and synchronize; node zero collects the
+		// cycle's data and writes it with four request sizes.
+		var h *pfs.Handle
+		var err error
+		if n.ID == 0 {
+			h, err = n.M.FS.Open(p, 0, quadName(ch), pfs.MUnix)
+			if err != nil {
+				panic(err)
+			}
+		}
+		cycleBytes := d.QuadBytes() / int64(d.Cycles)
+		perNode := cycleBytes / int64(d.Nodes)
+		for cyc := 0; cyc < d.Cycles; cyc++ {
+			n.ComputeJitter(scaled(v, d.CycleCompute), d.CycleJitter)
+			all.Barrier(n)
+			all.Gather(n, 0, perNode)
+			if n.ID == 0 {
+				remaining := cycleBytes
+				for remaining > 0 {
+					sz := d.WriteSizesA.Next(n.RNG)
+					if sz > remaining {
+						sz = remaining
+					}
+					if _, err := h.Write(p, sz); err != nil {
+						panic(err)
+					}
+					remaining -= sz
+				}
+			}
+		}
+		if n.ID == 0 {
+			if err := h.Close(p); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// phase3 reloads the quadrature data for the energy-dependent solves.
+// Version A: node zero reads small chunks and broadcasts them. B/C: all
+// nodes read 128 KB records (two stripe units) through M_RECORD.
+func phase3(n *workload.Node, d Dataset, v Version, all *workload.Collective, g *pfs.Group) {
+	p := n.P
+	all.Barrier(n)
+	if n.ID == 0 {
+		n.M.BeginPhase("three: quadrature reload reads")
+	}
+	for sweep := 0; sweep < d.EnergySweeps; sweep++ {
+		n.ComputeJitter(scaled(v, d.EnergyCompute), d.EnergyJitter)
+		for ch := 0; ch < d.Channels; ch++ {
+			size := n.M.FS.FileSize(quadName(ch))
+			if v.Phase3Record {
+				var h *pfs.Handle
+				var err error
+				if v.DirectRecordGopen {
+					h, err = g.Gopen(p, n.ID, quadName(ch), pfs.MRecord)
+				} else {
+					h, err = g.Gopen(p, n.ID, quadName(ch), pfs.MUnix)
+					if err == nil {
+						err = g.SetIOMode(p, h, pfs.MRecord)
+					}
+				}
+				if err != nil {
+					panic(err)
+				}
+				records := (size + d.RecordSize - 1) / d.RecordSize
+				rounds := int((records + int64(d.Nodes) - 1) / int64(d.Nodes))
+				for r := 0; r < rounds; r++ {
+					if _, err := h.Read(p, d.RecordSize); err != nil {
+						panic(err)
+					}
+				}
+				if err := h.Close(p); err != nil {
+					panic(err)
+				}
+				continue
+			}
+			// A: node zero chunk-reads and broadcasts in batches.
+			const chunksPerBatch = 64
+			chunks := (size + d.ChunkRead - 1) / d.ChunkRead
+			batches := int((chunks + chunksPerBatch - 1) / chunksPerBatch)
+			var h *pfs.Handle
+			if n.ID == 0 {
+				var err error
+				h, err = n.M.FS.Open(p, 0, quadName(ch), pfs.MUnix)
+				if err != nil {
+					panic(err)
+				}
+			}
+			left := chunks
+			for b := 0; b < batches; b++ {
+				batch := int64(chunksPerBatch)
+				if batch > left {
+					batch = left
+				}
+				if n.ID == 0 {
+					for c := int64(0); c < batch; c++ {
+						if _, err := h.Read(p, d.ChunkRead); err != nil {
+							panic(err)
+						}
+					}
+				}
+				all.Broadcast(n, 0, batch*d.ChunkRead)
+				left -= batch
+			}
+			if n.ID == 0 {
+				if err := h.Close(p); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+}
+
+// phase4 writes the per-channel results (compulsory output) through
+// node zero, in all versions.
+func phase4(n *workload.Node, d Dataset, v Version, all *workload.Collective) {
+	p := n.P
+	all.Barrier(n)
+	if n.ID == 0 {
+		n.M.BeginPhase("four: result writes")
+	}
+	if n.ID == 0 {
+		for ch := 0; ch < d.Channels; ch++ {
+			h, err := n.M.FS.Open(p, 0, outName(ch), pfs.MUnix)
+			if err != nil {
+				panic(err)
+			}
+			var off int64
+			for w := 0; w < d.ResultWrites; w++ {
+				// The result file is section-structured: reposition at
+				// section boundaries (every 8 writes).
+				if w%8 == 0 {
+					if err := h.Seek(p, off); err != nil {
+						panic(err)
+					}
+				}
+				sz := d.ResultSizes.Next(n.RNG)
+				if _, err := h.Write(p, sz); err != nil {
+					panic(err)
+				}
+				off += sz
+			}
+			if err := h.Close(p); err != nil {
+				panic(err)
+			}
+		}
+	}
+	all.Barrier(n)
+}

@@ -1,0 +1,148 @@
+// Package core is the public façade of the reproduction: it assembles
+// the simulated platform (kernel + mesh + PFS) with Pablo tracing, runs
+// an application script on it, and returns the captured trace together
+// with run metadata — the exact workflow of the paper's methodology
+// (instrument, execute, analyze).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"paragonio/internal/analysis"
+	"paragonio/internal/disk"
+	"paragonio/internal/mesh"
+	"paragonio/internal/pablo"
+	"paragonio/internal/pfs"
+	"paragonio/internal/sim"
+	"paragonio/internal/workload"
+)
+
+// Config selects the platform configuration for a run. The zero value of
+// each field means "the paper's machine" (Caltech 512-node Paragon,
+// 16 I/O nodes, 64 KB stripes, default costs).
+type Config struct {
+	Nodes int          // compute nodes the application uses (required)
+	Mesh  *mesh.Config // interconnect override
+	Disk  *disk.Params // RAID-3 array override
+	Costs *pfs.Costs   // file system software cost override
+	// IONodes overrides the number of I/O nodes (default 16).
+	IONodes int
+	// StripeUnit overrides the PFS stripe unit (default 64 KB).
+	StripeUnit int64
+	// Seed drives all workload randomness; runs are bit-reproducible
+	// for a given (Config, application) pair.
+	Seed int64
+	// SampleInterval, when positive, installs a utilization sampler
+	// that snapshots the file system's queues and disk busy time at
+	// this virtual period (Result.Samples).
+	SampleInterval time.Duration
+}
+
+// Platform is an assembled simulated machine with tracing attached.
+type Platform struct {
+	Machine *workload.Machine
+	Trace   *pablo.Trace
+}
+
+// NewPlatform builds a traced platform from cfg.
+func NewPlatform(cfg Config) (*Platform, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("core: Config.Nodes must be positive, got %d", cfg.Nodes)
+	}
+	mcfg := mesh.DefaultConfig()
+	if cfg.Mesh != nil {
+		mcfg = *cfg.Mesh
+	}
+	m, err := mesh.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	k := sim.NewKernel()
+	tr := pablo.NewTrace()
+	fcfg := pfs.DefaultConfig(m)
+	if cfg.Disk != nil {
+		fcfg.Disk = *cfg.Disk
+	}
+	if cfg.Costs != nil {
+		fcfg.Costs = *cfg.Costs
+	}
+	if cfg.IONodes != 0 {
+		fcfg.IONodes = cfg.IONodes
+	}
+	if cfg.StripeUnit != 0 {
+		fcfg.StripeUnit = cfg.StripeUnit
+	}
+	fs, err := pfs.New(k, fcfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	wm, err := workload.NewMachine(k, m, fs, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{Machine: wm, Trace: tr}, nil
+}
+
+// Result captures one application execution: wall-clock (virtual)
+// execution time, the full Pablo trace, per-phase windows, and storage-
+// layer statistics.
+type Result struct {
+	App     string
+	Version string
+	Nodes   int
+	Exec    time.Duration
+	Trace   *pablo.Trace
+	Phases  []analysis.PhaseWindow
+	IONodes []disk.Stats
+	// Samples holds utilization snapshots when Config.SampleInterval
+	// was set (nil otherwise).
+	Samples []pfs.UtilSample
+}
+
+// IOTime returns the summed duration of all I/O operations across nodes.
+func (r *Result) IOTime() time.Duration { return r.Trace.TotalIOTime() }
+
+// IOPercent returns summed I/O time as a percentage of summed node time
+// (Exec x Nodes) — the accounting behind the paper's Table 3.
+func (r *Result) IOPercent() float64 {
+	if r.Exec <= 0 || r.Nodes <= 0 {
+		return 0
+	}
+	return 100 * float64(r.IOTime()) / (float64(r.Exec) * float64(r.Nodes))
+}
+
+// Run executes script on a freshly built platform and packages the
+// Result. The script receives the machine and must spawn its node
+// processes (typically via Machine.SpawnNodes); Run drives the kernel to
+// completion and snapshots the outcome.
+func Run(cfg Config, app, version string, script func(m *workload.Machine, seed int64) error) (*Result, error) {
+	p, err := NewPlatform(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var sampler *pfs.Sampler
+	if cfg.SampleInterval > 0 {
+		sampler = pfs.NewSampler(p.Machine.FS, cfg.SampleInterval)
+	}
+	if err := script(p.Machine, cfg.Seed); err != nil {
+		return nil, err
+	}
+	if err := p.Machine.K.Run(); err != nil {
+		return nil, fmt.Errorf("core: %s/%s: %w", app, version, err)
+	}
+	p.Machine.EndPhases()
+	res := &Result{
+		App:     app,
+		Version: version,
+		Nodes:   cfg.Nodes,
+		Exec:    p.Machine.K.Now(),
+		Trace:   p.Trace,
+		Phases:  p.Machine.Phases(),
+		IONodes: p.Machine.FS.IONodeStats(),
+	}
+	if sampler != nil {
+		res.Samples = sampler.Samples()
+	}
+	return res, nil
+}

@@ -1,0 +1,85 @@
+package iobench
+
+import (
+	"fmt"
+	"io"
+
+	"paragonio/internal/pfs"
+	"paragonio/internal/report"
+)
+
+// ModesFor returns the access modes meaningfully comparable for a
+// kernel (single-writer kernels exclude collective modes).
+func ModesFor(k Kernel) []pfs.Mode {
+	switch k {
+	case Checkpoint, ResultFunnel:
+		return []pfs.Mode{pfs.MUnix, pfs.MAsync, pfs.MLog}
+	default:
+		return []pfs.Mode{pfs.MUnix, pfs.MAsync, pfs.MRecord, pfs.MGlobal, pfs.MSync, pfs.MLog}
+	}
+}
+
+// SweepModes runs one kernel across all applicable access modes.
+func SweepModes(base Params) ([]*Result, error) {
+	var out []*Result
+	for _, mode := range ModesFor(base.Kernel) {
+		p := base
+		p.Mode = mode
+		r, err := Run(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", base.Kernel, mode, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SweepRequestSizes runs one kernel/mode across request sizes.
+func SweepRequestSizes(base Params, sizes []int64) ([]*Result, error) {
+	var out []*Result
+	for _, s := range sizes {
+		p := base
+		p.Request = s
+		r, err := Run(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s req=%d: %w", base.Kernel, s, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SweepIONodes runs one kernel/mode across I/O node counts — the
+// machine-configuration study of the paper's future work.
+func SweepIONodes(base Params, counts []int) ([]*Result, error) {
+	var out []*Result
+	for _, c := range counts {
+		p := base
+		p.IONodes = c
+		r, err := Run(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s ionodes=%d: %w", base.Kernel, c, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WriteTable renders sweep results as an aligned table. label extracts
+// the swept dimension from each result.
+func WriteTable(w io.Writer, title string, results []*Result, label func(*Result) string) error {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			label(r),
+			fmt.Sprintf("%.3f", r.Wall.Seconds()),
+			fmt.Sprintf("%.2f", r.BandwidthMBs()),
+			fmt.Sprintf("%d", r.Ops),
+			fmt.Sprintf("%.2f", r.MeanOpMillis()),
+			fmt.Sprintf("%.2f", r.P50Op.Seconds()*1000),
+			fmt.Sprintf("%.2f", r.P95Op.Seconds()*1000),
+		})
+	}
+	return report.Table(w, title,
+		[]string{"config", "wall (s)", "MB/s", "ops", "mean op (ms)", "p50 (ms)", "p95 (ms)"}, rows)
+}

@@ -1,0 +1,232 @@
+package pablo
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Binary trace codec — the compact sibling of the text format, as
+// Pablo's SDDF had both ASCII and binary encodings. Layout:
+//
+//	magic "PIOB" | version u8 | record count uvarint |
+//	  per record:
+//	    node uvarint | op u8 | file-index uvarint |
+//	    offset uvarint | size uvarint | start uvarint | dur uvarint |
+//	    mode-index u8
+//	string table: file count uvarint, then len-prefixed names;
+//	              mode count uvarint, then len-prefixed names
+//
+// The string tables follow the records so the writer streams in one
+// pass; the reader therefore buffers records before resolving names.
+
+var binaryMagic = [4]byte{'P', 'I', 'O', 'B'}
+
+const binaryVersion = 1
+
+// WriteTraceBinary serializes the trace in the compact binary format.
+func WriteTraceBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := putUvarint(uint64(t.Len())); err != nil {
+		return err
+	}
+	fileIdx := map[string]uint64{}
+	var files []string
+	modeIdx := map[string]uint64{}
+	var modes []string
+	intern := func(m map[string]uint64, list *[]string, s string) uint64 {
+		if i, ok := m[s]; ok {
+			return i
+		}
+		i := uint64(len(*list))
+		m[s] = i
+		*list = append(*list, s)
+		return i
+	}
+	for _, ev := range t.Events() {
+		if ev.Node < 0 || ev.Offset < 0 || ev.Size < 0 || ev.Start < 0 || ev.Duration < 0 {
+			return fmt.Errorf("pablo: binary codec requires non-negative fields, got %+v", ev)
+		}
+		if err := putUvarint(uint64(ev.Node)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(ev.Op)); err != nil {
+			return err
+		}
+		if err := putUvarint(intern(fileIdx, &files, ev.File)); err != nil {
+			return err
+		}
+		for _, v := range []uint64{uint64(ev.Offset), uint64(ev.Size), uint64(ev.Start), uint64(ev.Duration)} {
+			if err := putUvarint(v); err != nil {
+				return err
+			}
+		}
+		mi := intern(modeIdx, &modes, ev.Mode)
+		if mi > 255 {
+			return fmt.Errorf("pablo: too many distinct modes")
+		}
+		if err := bw.WriteByte(byte(mi)); err != nil {
+			return err
+		}
+	}
+	writeTable := func(list []string) error {
+		if err := putUvarint(uint64(len(list))); err != nil {
+			return err
+		}
+		for _, s := range list {
+			if err := putUvarint(uint64(len(s))); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeTable(files); err != nil {
+		return err
+	}
+	if err := writeTable(modes); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// rawBinaryEvent holds indices pending string-table resolution.
+type rawBinaryEvent struct {
+	node               uint64
+	op                 byte
+	file               uint64
+	off, size, st, dur uint64
+	mode               byte
+}
+
+// ReadTraceBinary parses a trace written by WriteTraceBinary.
+func ReadTraceBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("pablo: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("pablo: bad binary magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != binaryVersion {
+		return nil, fmt.Errorf("pablo: unsupported binary version %d", ver)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("pablo: reading record count: %w", err)
+	}
+	const maxRecords = 1 << 28 // sanity bound ~268M events
+	if count > maxRecords {
+		return nil, fmt.Errorf("pablo: implausible record count %d", count)
+	}
+	raws := make([]rawBinaryEvent, 0, min64(count, 1<<20))
+	for i := uint64(0); i < count; i++ {
+		var rec rawBinaryEvent
+		if rec.node, err = binary.ReadUvarint(br); err != nil {
+			return nil, fmt.Errorf("pablo: record %d: %w", i, err)
+		}
+		if rec.op, err = br.ReadByte(); err != nil {
+			return nil, err
+		}
+		if int(rec.op) >= int(numOps) {
+			return nil, fmt.Errorf("pablo: record %d: bad op %d", i, rec.op)
+		}
+		if rec.file, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		if rec.off, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		if rec.size, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		if rec.st, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		if rec.dur, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		if rec.mode, err = br.ReadByte(); err != nil {
+			return nil, err
+		}
+		raws = append(raws, rec)
+	}
+	readTable := func() ([]string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<20 {
+			return nil, fmt.Errorf("pablo: implausible table size %d", n)
+		}
+		out := make([]string, n)
+		for i := range out {
+			l, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if l > 1<<16 {
+				return nil, fmt.Errorf("pablo: implausible string length %d", l)
+			}
+			buf := make([]byte, l)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, err
+			}
+			out[i] = string(buf)
+		}
+		return out, nil
+	}
+	files, err := readTable()
+	if err != nil {
+		return nil, fmt.Errorf("pablo: file table: %w", err)
+	}
+	modes, err := readTable()
+	if err != nil {
+		return nil, fmt.Errorf("pablo: mode table: %w", err)
+	}
+	t := NewTrace()
+	for i, rec := range raws {
+		if rec.file >= uint64(len(files)) || int(rec.mode) >= len(modes) {
+			return nil, fmt.Errorf("pablo: record %d: dangling string index", i)
+		}
+		t.Record(Event{
+			Node:     int(rec.node),
+			Op:       Op(rec.op),
+			File:     files[rec.file],
+			Offset:   int64(rec.off),
+			Size:     int64(rec.size),
+			Start:    time.Duration(rec.st),
+			Duration: time.Duration(rec.dur),
+			Mode:     modes[rec.mode],
+		})
+	}
+	return t, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

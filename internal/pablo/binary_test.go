@@ -1,0 +1,157 @@
+package pablo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleTrace() *Trace {
+	tr := NewTrace()
+	tr.Record(Event{Node: 0, Op: OpOpen, File: "escat/input.0",
+		Duration: 500 * time.Millisecond, Mode: "M_UNIX"})
+	for i := 0; i < 100; i++ {
+		tr.Record(Event{Node: i % 16, Op: OpRead, File: "escat/input.0",
+			Offset: int64(i) * 622, Size: 622,
+			Start: time.Duration(i) * 3 * time.Millisecond, Duration: 3 * time.Millisecond,
+			Mode: "M_UNIX"})
+	}
+	tr.Record(Event{Node: 3, Op: OpWrite, File: "escat/quad.0",
+		Offset: 131072, Size: 2720, Start: time.Minute, Duration: 20 * time.Millisecond,
+		Mode: "M_ASYNC"})
+	tr.Record(Event{Node: 5, Op: OpClose, File: "", Start: 2 * time.Minute,
+		Duration: 6 * time.Millisecond})
+	return tr
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteTraceBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), tr.Len())
+	}
+	for i, want := range tr.Events() {
+		if got.Events()[i] != want {
+			t.Fatalf("event %d: %+v != %+v", i, got.Events()[i], want)
+		}
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	tr := sampleTrace()
+	var text, bin bytes.Buffer
+	if err := WriteTrace(&text, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len()*2 >= text.Len() {
+		t.Fatalf("binary (%d B) not substantially smaller than text (%d B)",
+			bin.Len(), text.Len())
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE\x01\x00"),
+		"bad ver":   append([]byte("PIOB"), 9, 0),
+		"truncated": append([]byte("PIOB"), 1, 5), // claims 5 records, EOF
+		"bad op":    append([]byte("PIOB"), 1, 1, 0, 99),
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadTraceBinary(bytes.NewReader(input)); err == nil {
+				t.Fatal("garbage accepted")
+			}
+		})
+	}
+}
+
+func TestBinaryRejectsNegativeFields(t *testing.T) {
+	tr := NewTrace()
+	tr.Record(Event{Node: 0, Op: OpRead, File: "f", Offset: -1, Size: 10})
+	var buf bytes.Buffer
+	if err := WriteTraceBinary(&buf, tr); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceBinary(&buf, NewTrace()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(node uint8, opIdx uint8, file string, off, size, start, dur uint32, modeIdx uint8) bool {
+		modes := []string{"", "M_UNIX", "M_RECORD", "M_ASYNC"}
+		in := Event{
+			Node:     int(node),
+			Op:       Op(int(opIdx) % int(numOps)),
+			File:     strings.ToValidUTF8(file, "?"),
+			Offset:   int64(off),
+			Size:     int64(size),
+			Start:    time.Duration(start),
+			Duration: time.Duration(dur),
+			Mode:     modes[int(modeIdx)%len(modes)],
+		}
+		tr := NewTrace()
+		tr.Record(in)
+		var buf bytes.Buffer
+		if err := WriteTraceBinary(&buf, tr); err != nil {
+			return false
+		}
+		out, err := ReadTraceBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return out.Len() == 1 && out.Events()[0] == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryTextEquivalence(t *testing.T) {
+	// The two codecs must reproduce identical traces from the same input.
+	tr := sampleTrace()
+	var tb, bb bytes.Buffer
+	if err := WriteTrace(&tb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceBinary(&bb, tr); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := ReadTrace(&tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ReadTraceBinary(&bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Events() {
+		if fromText.Events()[i] != fromBin.Events()[i] {
+			t.Fatalf("codec divergence at event %d", i)
+		}
+	}
+}

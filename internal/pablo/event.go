@@ -1,0 +1,206 @@
+// Package pablo reimplements the capture side of the Pablo performance
+// analysis environment as used in the paper: detailed per-operation I/O
+// event traces plus the three statistical summary forms the paper names
+// (file lifetime, time window, and file region summaries), and a portable
+// self-describing text codec for offline analysis.
+//
+// The simulated file system records one Event per I/O operation; the
+// analysis layer consumes traces to regenerate the paper's tables and
+// figures.
+package pablo
+
+import (
+	"fmt"
+	"time"
+)
+
+// Op identifies an I/O operation type. The set matches the operation rows
+// of the paper's Tables 2, 3 and 5.
+type Op int
+
+const (
+	OpOpen Op = iota
+	OpGopen
+	OpRead
+	OpSeek
+	OpWrite
+	OpIOMode
+	OpFlush
+	OpClose
+	numOps
+)
+
+// Ops lists all operation types in table order.
+func Ops() []Op {
+	out := make([]Op, numOps)
+	for i := range out {
+		out[i] = Op(i)
+	}
+	return out
+}
+
+var opNames = [...]string{
+	OpOpen:   "open",
+	OpGopen:  "gopen",
+	OpRead:   "read",
+	OpSeek:   "seek",
+	OpWrite:  "write",
+	OpIOMode: "iomode",
+	OpFlush:  "flush",
+	OpClose:  "close",
+}
+
+// String returns the operation's table-row name.
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// ParseOp converts a table-row name back to an Op.
+func ParseOp(s string) (Op, error) {
+	for i, n := range opNames {
+		if n == s {
+			return Op(i), nil
+		}
+	}
+	return 0, fmt.Errorf("pablo: unknown op %q", s)
+}
+
+// Event is one captured I/O operation: who, what, where, when, how long.
+type Event struct {
+	Node     int           // compute node issuing the operation
+	Op       Op            // operation type
+	File     string        // file name ("" for operations without one)
+	Offset   int64         // file offset (reads/writes/seeks)
+	Size     int64         // payload bytes (reads/writes), else 0
+	Start    time.Duration // virtual time at operation start
+	Duration time.Duration // operation duration (includes queueing/sync)
+	Mode     string        // file access mode in effect ("" if none)
+}
+
+// End returns the event's completion time.
+func (e Event) End() time.Duration { return e.Start + e.Duration }
+
+// Tracer consumes events as they are generated.
+type Tracer interface {
+	Record(Event)
+}
+
+// Discard is a Tracer that drops all events (for untraced runs and
+// benchmarks of the simulator itself).
+var Discard Tracer = discard{}
+
+type discard struct{}
+
+func (discard) Record(Event) {}
+
+// Trace is an in-memory event recorder and the unit of analysis. It is
+// not safe for concurrent use; the simulation kernel is single-threaded
+// by construction.
+type Trace struct {
+	events []Event
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Record implements Tracer.
+func (t *Trace) Record(ev Event) { t.events = append(t.events, ev) }
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.events) }
+
+// Events returns the recorded events in capture order. The slice is the
+// trace's backing store; callers must not modify it.
+func (t *Trace) Events() []Event { return t.events }
+
+// Filter returns a new trace holding the events for which pred is true,
+// preserving order.
+func (t *Trace) Filter(pred func(Event) bool) *Trace {
+	out := &Trace{}
+	for _, ev := range t.events {
+		if pred(ev) {
+			out.events = append(out.events, ev)
+		}
+	}
+	return out
+}
+
+// ByOp returns the events of one operation type, in capture order.
+func (t *Trace) ByOp(op Op) []Event {
+	var out []Event
+	for _, ev := range t.events {
+		if ev.Op == op {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// ByFile returns the events touching the named file, in capture order.
+func (t *Trace) ByFile(file string) []Event {
+	var out []Event
+	for _, ev := range t.events {
+		if ev.File == file {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// ByNode returns the events issued by one node, in capture order.
+func (t *Trace) ByNode(node int) []Event {
+	var out []Event
+	for _, ev := range t.events {
+		if ev.Node == node {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Files returns the distinct file names appearing in the trace, in first-
+// appearance order.
+func (t *Trace) Files() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, ev := range t.events {
+		if ev.File != "" && !seen[ev.File] {
+			seen[ev.File] = true
+			out = append(out, ev.File)
+		}
+	}
+	return out
+}
+
+// Span returns the earliest start and latest end across all events, or
+// zeros for an empty trace.
+func (t *Trace) Span() (start, end time.Duration) {
+	if len(t.events) == 0 {
+		return 0, 0
+	}
+	start = t.events[0].Start
+	for _, ev := range t.events {
+		if ev.Start < start {
+			start = ev.Start
+		}
+		if e := ev.End(); e > end {
+			end = e
+		}
+	}
+	return start, end
+}
+
+// TotalIOTime returns the summed duration of all events — the
+// denominator of the paper's "% of total I/O time" tables. Overlapping
+// operations on different nodes are counted once each, exactly as Pablo's
+// aggregate summaries do.
+func (t *Trace) TotalIOTime() time.Duration {
+	var sum time.Duration
+	for _, ev := range t.events {
+		sum += ev.Duration
+	}
+	return sum
+}

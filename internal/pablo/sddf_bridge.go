@@ -1,0 +1,107 @@
+package pablo
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"paragonio/internal/sddf"
+)
+
+// Bridge between the fixed-schema trace and the generic self-describing
+// stream format: I/O events become one record type among arbitrarily
+// many, so traces can travel alongside other instrumentation records
+// (utilization samples, counters) in one stream.
+
+// EventDescriptor returns the io-event record type (tag 1).
+func EventDescriptor() *sddf.Descriptor {
+	return &sddf.Descriptor{
+		Tag: 1, Name: "io-event",
+		Fields: []sddf.Field{
+			{Name: "node", Type: sddf.Int},
+			{Name: "op", Type: sddf.String},
+			{Name: "file", Type: sddf.String},
+			{Name: "offset", Type: sddf.Int},
+			{Name: "size", Type: sddf.Int},
+			{Name: "start_ns", Type: sddf.Int},
+			{Name: "dur_ns", Type: sddf.Int},
+			{Name: "mode", Type: sddf.String},
+		},
+	}
+}
+
+// EventRecord converts an event into an io-event record under desc.
+func EventRecord(desc *sddf.Descriptor, ev Event) (sddf.Record, error) {
+	return sddf.NewRecord(desc,
+		int64(ev.Node), ev.Op.String(), ev.File, ev.Offset, ev.Size,
+		int64(ev.Start), int64(ev.Duration), ev.Mode)
+}
+
+// EventFromRecord parses an io-event record back into an Event.
+func EventFromRecord(rec sddf.Record) (Event, error) {
+	var ev Event
+	if rec.Desc == nil || rec.Desc.Name != "io-event" {
+		return ev, fmt.Errorf("pablo: record is not an io-event")
+	}
+	node, ok1 := rec.Int("node")
+	opName, ok2 := rec.Str("op")
+	file, ok3 := rec.Str("file")
+	off, ok4 := rec.Int("offset")
+	size, ok5 := rec.Int("size")
+	start, ok6 := rec.Int("start_ns")
+	dur, ok7 := rec.Int("dur_ns")
+	mode, ok8 := rec.Str("mode")
+	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7 && ok8) {
+		return ev, fmt.Errorf("pablo: io-event record missing fields")
+	}
+	op, err := ParseOp(opName)
+	if err != nil {
+		return ev, err
+	}
+	return Event{
+		Node: int(node), Op: op, File: file, Offset: off, Size: size,
+		Start: time.Duration(start), Duration: time.Duration(dur), Mode: mode,
+	}, nil
+}
+
+// WriteSDDF emits the whole trace as io-event records on w.
+func WriteSDDF(w *sddf.Writer, t *Trace) error {
+	desc := EventDescriptor()
+	for _, ev := range t.Events() {
+		rec, err := EventRecord(desc, ev)
+		if err != nil {
+			return err
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// ReadSDDF consumes a generic stream, collecting io-event records into a
+// trace and returning all other records untouched — the generic-consumer
+// property that self-description buys.
+func ReadSDDF(r *sddf.Reader) (*Trace, []sddf.Record, error) {
+	t := NewTrace()
+	var others []sddf.Record
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return t, others, nil
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if rec.Desc.Name == "io-event" {
+			ev, err := EventFromRecord(rec)
+			if err != nil {
+				return nil, nil, err
+			}
+			t.Record(ev)
+			continue
+		}
+		others = append(others, rec)
+	}
+}

@@ -1,0 +1,89 @@
+package pablo
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"paragonio/internal/sddf"
+)
+
+func TestSDDFBridgeRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	w := sddf.NewWriter(&buf)
+	if err := WriteSDDF(w, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, others, err := ReadSDDF(sddf.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(others) != 0 {
+		t.Fatalf("unexpected foreign records: %d", len(others))
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), tr.Len())
+	}
+	for i, want := range tr.Events() {
+		if got.Events()[i] != want {
+			t.Fatalf("event %d: %+v != %+v", i, got.Events()[i], want)
+		}
+	}
+}
+
+func TestSDDFBridgeInterleavedForeignRecords(t *testing.T) {
+	// The generic-consumer property: a stream mixing io-events with a
+	// record type this package has never seen still parses, with the
+	// foreign records handed back intact.
+	var buf bytes.Buffer
+	w := sddf.NewWriter(&buf)
+	evDesc := EventDescriptor()
+	utilDesc := &sddf.Descriptor{Tag: 7, Name: "utilization",
+		Fields: []sddf.Field{{Name: "t", Type: sddf.Double}, {Name: "queue", Type: sddf.Int}}}
+
+	ev := Event{Node: 2, Op: OpRead, File: "f", Offset: 10, Size: 20,
+		Start: time.Second, Duration: time.Millisecond, Mode: "M_UNIX"}
+	rec, err := EventRecord(evDesc, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util, err := sddf.NewRecord(utilDesc, 1.5, int64(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []sddf.Record{util, rec, util} {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, others, err := ReadSDDF(sddf.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.Events()[0] != ev {
+		t.Fatalf("trace = %+v", tr.Events())
+	}
+	if len(others) != 2 {
+		t.Fatalf("foreign records = %d, want 2", len(others))
+	}
+	if q, ok := others[0].Int("queue"); !ok || q != 12 {
+		t.Fatalf("foreign record content lost: %+v", others[0])
+	}
+}
+
+func TestEventFromRecordRejectsWrongType(t *testing.T) {
+	d := &sddf.Descriptor{Tag: 9, Name: "not-io",
+		Fields: []sddf.Field{{Name: "x", Type: sddf.Int}}}
+	rec, err := sddf.NewRecord(d, int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EventFromRecord(rec); err == nil {
+		t.Fatal("wrong record type accepted")
+	}
+}

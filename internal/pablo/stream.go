@@ -1,0 +1,149 @@
+package pablo
+
+import (
+	"sort"
+	"time"
+
+	"paragonio/internal/stats"
+)
+
+// SummaryTracer is Pablo's "data analysis extension" capture path: instead
+// of recording every event for later analysis, it reduces the stream
+// online — aggregate per-operation statistics, per-file lifetime
+// summaries, request-size histograms, and fixed-width time-window
+// activity — in bounded memory. Use it for runs whose full event streams
+// would be too large to keep (the reason the real Pablo offered this).
+//
+// SummaryTracer implements Tracer and can be used anywhere a Trace would
+// be, at the cost of losing per-event detail.
+type SummaryTracer struct {
+	window time.Duration
+
+	agg      OpStats
+	byFile   map[string]*LifetimeSummary
+	openAt   map[nodeFile]time.Duration
+	readHist *stats.LogHistogram
+	writHist *stats.LogHistogram
+	windows  map[int64]*WindowSummary
+
+	events int
+	maxEnd time.Duration
+}
+
+type nodeFile struct {
+	node int
+	file string
+}
+
+// NewSummaryTracer creates a streaming tracer with the given time-window
+// width (window <= 0 disables windowed accounting).
+func NewSummaryTracer(window time.Duration) *SummaryTracer {
+	return &SummaryTracer{
+		window:   window,
+		byFile:   make(map[string]*LifetimeSummary),
+		openAt:   make(map[nodeFile]time.Duration),
+		readHist: &stats.LogHistogram{},
+		writHist: &stats.LogHistogram{},
+		windows:  make(map[int64]*WindowSummary),
+	}
+}
+
+// Record implements Tracer.
+func (s *SummaryTracer) Record(ev Event) {
+	s.events++
+	s.agg.Add(ev)
+	if end := ev.End(); end > s.maxEnd {
+		s.maxEnd = end
+	}
+	if ev.File != "" {
+		f := s.byFile[ev.File]
+		if f == nil {
+			f = &LifetimeSummary{File: ev.File, FirstOpen: -1}
+			s.byFile[ev.File] = f
+		}
+		f.Add(ev)
+		switch ev.Op {
+		case OpOpen, OpGopen:
+			if f.FirstOpen < 0 || ev.Start < f.FirstOpen {
+				f.FirstOpen = ev.Start
+			}
+			s.openAt[nodeFile{ev.Node, ev.File}] = ev.End()
+		case OpClose:
+			if at, ok := s.openAt[nodeFile{ev.Node, ev.File}]; ok {
+				f.OpenTime += ev.End() - at
+				delete(s.openAt, nodeFile{ev.Node, ev.File})
+			}
+			if ev.End() > f.LastClose {
+				f.LastClose = ev.End()
+			}
+		}
+	}
+	switch ev.Op {
+	case OpRead:
+		if ev.Size > 0 {
+			s.readHist.Add(ev.Size)
+		}
+	case OpWrite:
+		if ev.Size > 0 {
+			s.writHist.Add(ev.Size)
+		}
+	}
+	if s.window > 0 {
+		idx := int64(ev.Start / s.window)
+		w := s.windows[idx]
+		if w == nil {
+			w = &WindowSummary{
+				Start: time.Duration(idx) * s.window,
+				End:   time.Duration(idx+1) * s.window,
+			}
+			s.windows[idx] = w
+		}
+		w.Add(ev)
+	}
+}
+
+// Events returns the number of events consumed.
+func (s *SummaryTracer) Events() int { return s.events }
+
+// Aggregate returns the overall per-operation statistics.
+func (s *SummaryTracer) Aggregate() OpStats { return s.agg }
+
+// Lifetimes returns the per-file lifetime summaries.
+func (s *SummaryTracer) Lifetimes() map[string]*LifetimeSummary {
+	out := make(map[string]*LifetimeSummary, len(s.byFile))
+	for k, v := range s.byFile {
+		cp := *v
+		if cp.FirstOpen < 0 {
+			cp.FirstOpen = 0
+		}
+		out[k] = &cp
+	}
+	return out
+}
+
+// ReadSizes returns the read request-size histogram.
+func (s *SummaryTracer) ReadSizes() *stats.LogHistogram { return s.readHist }
+
+// WriteSizes returns the write request-size histogram.
+func (s *SummaryTracer) WriteSizes() *stats.LogHistogram { return s.writHist }
+
+// Windows returns the non-empty time-window summaries in order. Nil when
+// windowed accounting is disabled.
+func (s *SummaryTracer) Windows() []WindowSummary {
+	if s.window <= 0 || len(s.windows) == 0 {
+		return nil
+	}
+	idxs := make([]int64, 0, len(s.windows))
+	for i := range s.windows {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	out := make([]WindowSummary, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, *s.windows[i])
+	}
+	return out
+}
+
+// Span returns the latest event end time seen.
+func (s *SummaryTracer) Span() time.Duration { return s.maxEnd }

@@ -1,0 +1,107 @@
+package pablo
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryTracerMatchesBatchAnalysis(t *testing.T) {
+	// Feed the same event stream to a full Trace and a SummaryTracer;
+	// every summary the streaming path produces must equal the batch
+	// computation.
+	tr := NewTrace()
+	st := NewSummaryTracer(time.Second)
+	feed := func(ev Event) {
+		tr.Record(ev)
+		st.Record(ev)
+	}
+	feed(ev(0, OpOpen, "f", 0, 0, 0, 10*time.Millisecond))
+	feed(ev(1, OpOpen, "g", 0, 0, 100*time.Millisecond, 10*time.Millisecond))
+	for i := 0; i < 50; i++ {
+		feed(ev(i%2, OpRead, "f", int64(i)*100, 100, time.Duration(i)*50*time.Millisecond, time.Millisecond))
+	}
+	for i := 0; i < 20; i++ {
+		feed(ev(0, OpWrite, "g", int64(i)*4096, 4096, time.Duration(i)*100*time.Millisecond, 2*time.Millisecond))
+	}
+	feed(ev(0, OpClose, "f", 0, 0, 5*time.Second, 5*time.Millisecond))
+
+	if st.Events() != tr.Len() {
+		t.Fatalf("events = %d, want %d", st.Events(), tr.Len())
+	}
+	if st.Aggregate() != AggregateByOp(tr) {
+		t.Fatalf("aggregate mismatch:\n%+v\n%+v", st.Aggregate(), AggregateByOp(tr))
+	}
+	batch := FileLifetimes(tr)
+	stream := st.Lifetimes()
+	if len(batch) != len(stream) {
+		t.Fatalf("lifetime count: %d vs %d", len(stream), len(batch))
+	}
+	for name, b := range batch {
+		s, ok := stream[name]
+		if !ok {
+			t.Fatalf("missing lifetime for %s", name)
+		}
+		if *s != *b {
+			t.Fatalf("%s lifetime mismatch:\nstream %+v\nbatch  %+v", name, s, b)
+		}
+	}
+	// Windows: counts must match TimeWindows over the same width for
+	// non-empty windows.
+	batchW := TimeWindows(tr, time.Second)
+	var batchNonEmpty []WindowSummary
+	for _, w := range batchW {
+		if w.TotalCount() > 0 {
+			batchNonEmpty = append(batchNonEmpty, w)
+		}
+	}
+	streamW := st.Windows()
+	if len(streamW) != len(batchNonEmpty) {
+		t.Fatalf("windows: %d vs %d", len(streamW), len(batchNonEmpty))
+	}
+	for i := range streamW {
+		if streamW[i].OpStats != batchNonEmpty[i].OpStats {
+			t.Fatalf("window %d mismatch", i)
+		}
+	}
+	// Histograms count every positive-size request.
+	if st.ReadSizes().Total() != 50 || st.WriteSizes().Total() != 20 {
+		t.Fatalf("histogram totals: %d/%d", st.ReadSizes().Total(), st.WriteSizes().Total())
+	}
+	if _, end := tr.Span(); st.Span() != end {
+		t.Fatalf("span: %v vs %v", st.Span(), end)
+	}
+}
+
+func TestSummaryTracerWindowedDisabled(t *testing.T) {
+	st := NewSummaryTracer(0)
+	st.Record(ev(0, OpRead, "f", 0, 10, 0, time.Millisecond))
+	if st.Windows() != nil {
+		t.Fatal("windows should be nil when disabled")
+	}
+}
+
+func TestSummaryTracerPropertyEquivalence(t *testing.T) {
+	// Random event streams: streaming aggregate == batch aggregate.
+	f := func(raw []uint32) bool {
+		tr := NewTrace()
+		st := NewSummaryTracer(500 * time.Millisecond)
+		for i, r := range raw {
+			e := Event{
+				Node:     int(r % 7),
+				Op:       Op(r % uint32(numOps)),
+				File:     []string{"a", "b", ""}[r%3],
+				Offset:   int64(r % 10000),
+				Size:     int64(r % 5000),
+				Start:    time.Duration(i) * 7 * time.Millisecond,
+				Duration: time.Duration(r%100) * time.Millisecond,
+			}
+			tr.Record(e)
+			st.Record(e)
+		}
+		return st.Aggregate() == AggregateByOp(tr) && st.Events() == tr.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,302 @@
+package pfs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"paragonio/internal/disk"
+	"paragonio/internal/mesh"
+	"paragonio/internal/pablo"
+	"paragonio/internal/sim"
+)
+
+// DefaultStripeUnit is the PFS default stripe unit (64 KB), the value the
+// Caltech machine used for all the paper's experiments.
+const DefaultStripeUnit int64 = 64 * 1024
+
+// Config describes a file system instance.
+type Config struct {
+	StripeUnit int64       // bytes per stripe unit (default 64 KB)
+	IONodes    int         // number of I/O nodes (default 16)
+	Disk       disk.Params // per-I/O-node RAID-3 array
+	Costs      Costs       // software-path costs
+	Mesh       *mesh.Mesh  // interconnect model (required)
+	BufSize    int64       // client read-buffer size (default = StripeUnit)
+}
+
+// DefaultConfig returns the paper's machine: 16 I/O nodes, 64 KB stripe
+// unit, default RAID-3 arrays, default costs, over the given mesh.
+func DefaultConfig(m *mesh.Mesh) Config {
+	return Config{
+		StripeUnit: DefaultStripeUnit,
+		IONodes:    16,
+		Disk:       disk.DefaultParams(),
+		Costs:      DefaultCosts(),
+		Mesh:       m,
+	}
+}
+
+// ioNode is one I/O service node: a FIFO server fronting a RAID-3 array.
+type ioNode struct {
+	idx   int
+	res   *sim.Resource
+	array *disk.Array
+}
+
+// file is the server-side state of one PFS file.
+type file struct {
+	name     string
+	size     int64
+	base     int           // first stripe's I/O node (round-robin by name hash)
+	token    *sim.Resource // atomicity token
+	shared   int64         // shared file pointer (M_GLOBAL/M_SYNC/M_LOG)
+	mode     Mode          // current file access mode
+	recSize  int64         // established M_RECORD record size (0 = unset)
+	refcount int
+}
+
+// FileSystem simulates one PFS instance. All methods taking a *sim.Proc
+// must be called from process context; the simulation kernel's handoff
+// protocol makes the file system effectively single-threaded, so no
+// internal locking is needed.
+type FileSystem struct {
+	k      *sim.Kernel
+	cfg    Config
+	meta   *sim.Resource
+	ios    []*ioNode
+	files  map[string]*file
+	tracer pablo.Tracer
+}
+
+// New creates a file system on the given kernel. tracer receives one
+// event per I/O operation; use pablo.Discard for untraced runs.
+func New(k *sim.Kernel, cfg Config, tracer pablo.Tracer) (*FileSystem, error) {
+	if cfg.StripeUnit == 0 {
+		cfg.StripeUnit = DefaultStripeUnit
+	}
+	if cfg.StripeUnit < 0 {
+		return nil, fmt.Errorf("pfs: negative stripe unit %d", cfg.StripeUnit)
+	}
+	if cfg.IONodes <= 0 {
+		return nil, fmt.Errorf("pfs: need at least one I/O node, got %d", cfg.IONodes)
+	}
+	if cfg.Mesh == nil {
+		return nil, fmt.Errorf("pfs: mesh model is required")
+	}
+	if err := cfg.Costs.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Disk.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BufSize == 0 {
+		cfg.BufSize = cfg.StripeUnit
+	}
+	if cfg.BufSize < 0 {
+		return nil, fmt.Errorf("pfs: negative buffer size %d", cfg.BufSize)
+	}
+	if tracer == nil {
+		tracer = pablo.Discard
+	}
+	fs := &FileSystem{
+		k:      k,
+		cfg:    cfg,
+		meta:   sim.NewResource(k, "pfs-metadata", 1),
+		files:  make(map[string]*file),
+		tracer: tracer,
+	}
+	for i := 0; i < cfg.IONodes; i++ {
+		fs.ios = append(fs.ios, &ioNode{
+			idx:   i,
+			res:   sim.NewResource(k, fmt.Sprintf("ionode-%d", i), 1),
+			array: disk.MustNewArray(cfg.Disk),
+		})
+	}
+	return fs, nil
+}
+
+// Config returns the file system's configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// Kernel returns the kernel the file system runs on.
+func (fs *FileSystem) Kernel() *sim.Kernel { return fs.k }
+
+// CreateFile installs a file of the given size without generating events
+// or consuming virtual time — used to preload application input files.
+func (fs *FileSystem) CreateFile(name string, size int64) {
+	f := fs.lookup(name, true)
+	if size > f.size {
+		f.size = size
+	}
+}
+
+// Exists reports whether the named file exists.
+func (fs *FileSystem) Exists(name string) bool {
+	_, ok := fs.files[name]
+	return ok
+}
+
+// FileSize returns the current size of the named file (0 if absent).
+func (fs *FileSystem) FileSize(name string) int64 {
+	if f, ok := fs.files[name]; ok {
+		return f.size
+	}
+	return 0
+}
+
+// FileNames returns the names of all files, sorted.
+func (fs *FileSystem) FileNames() []string {
+	out := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IONodeStats returns per-I/O-node array statistics, indexed by I/O node.
+func (fs *FileSystem) IONodeStats() []disk.Stats {
+	out := make([]disk.Stats, len(fs.ios))
+	for i, io := range fs.ios {
+		out[i] = io.array.Stats()
+	}
+	return out
+}
+
+// MetadataStats returns queueing statistics of the metadata service.
+func (fs *FileSystem) MetadataStats() sim.ResourceStats { return fs.meta.Stats() }
+
+// lookup returns the file record, creating it if requested.
+func (fs *FileSystem) lookup(name string, create bool) *file {
+	f, ok := fs.files[name]
+	if !ok && create {
+		h := fnv.New32a()
+		h.Write([]byte(name))
+		f = &file{
+			name:  name,
+			base:  int(h.Sum32()) % len(fs.ios),
+			token: sim.NewResource(fs.k, "token:"+name, 1),
+		}
+		if f.base < 0 {
+			f.base += len(fs.ios)
+		}
+		fs.files[name] = f
+	}
+	return f
+}
+
+// Open performs an individual (non-collective) open of name by node in
+// the given mode, creating the file if absent. Each concurrent Open
+// serializes through the metadata service — the behavior that dominated
+// version A of both applications.
+func (fs *FileSystem) Open(p *sim.Proc, node int, name string, mode Mode) (*Handle, error) {
+	if mode < 0 || mode >= numModes {
+		return nil, fmt.Errorf("pfs: invalid mode %d", int(mode))
+	}
+	start := fs.k.Now()
+	fs.meta.Use(p, fs.cfg.Costs.Open)
+	f := fs.lookup(name, true)
+	f.mode = mode
+	f.refcount++
+	fs.trace(node, pablo.OpOpen, name, 0, 0, start, mode)
+	return &Handle{fs: fs, f: f, node: node, mode: mode, buffered: true}, nil
+}
+
+// trace emits one event ending now.
+func (fs *FileSystem) trace(node int, op pablo.Op, name string, off, size int64, start sim.Time, mode Mode) {
+	fs.tracer.Record(pablo.Event{
+		Node:     node,
+		Op:       op,
+		File:     name,
+		Offset:   off,
+		Size:     size,
+		Start:    start,
+		Duration: fs.k.Now() - start,
+		Mode:     mode.String(),
+	})
+}
+
+// chunk is a contiguous piece of a request living on one I/O node.
+type chunk struct {
+	off, size int64
+}
+
+// chunksByIONode splits [off, off+size) into per-I/O-node chunk lists.
+// Chunks on the same I/O node are coalesced per stripe unit but kept in
+// ascending offset order (they are contiguous on the array only if the
+// request spans a full stripe cycle).
+func (fs *FileSystem) chunksByIONode(f *file, off, size int64) map[int][]chunk {
+	out := make(map[int][]chunk)
+	u := fs.cfg.StripeUnit
+	for size > 0 {
+		stripe := off / u
+		io := (f.base + int(stripe%int64(len(fs.ios)))) % len(fs.ios)
+		inStripe := off % u
+		n := u - inStripe
+		if n > size {
+			n = size
+		}
+		out[io] = append(out[io], chunk{off: off, size: n})
+		off += n
+		size -= n
+	}
+	return out
+}
+
+// xfer performs the data movement of one read or write request: client
+// software overhead, network to each involved I/O node, FIFO disk
+// service per node, with distinct I/O nodes proceeding in parallel.
+// It blocks p until the slowest I/O node finishes.
+func (fs *FileSystem) xfer(p *sim.Proc, node int, f *file, off, size int64) {
+	if size <= 0 {
+		return
+	}
+	p.Wait(fs.cfg.Costs.Request)
+	groups := fs.chunksByIONode(f, off, size)
+	if len(groups) == 1 {
+		for io, chunks := range groups {
+			fs.serveIONode(p, node, f, io, chunks)
+		}
+		return
+	}
+	// Fan out one helper process per additional I/O node; the request
+	// completes when all involved nodes have served their chunks.
+	ios := make([]int, 0, len(groups))
+	for io := range groups {
+		ios = append(ios, io)
+	}
+	sort.Ints(ios)
+	done := sim.NewMailbox(fs.k, "xfer-join")
+	for _, io := range ios[1:] {
+		io := io
+		chunks := groups[io]
+		fs.k.Spawn(fmt.Sprintf("xfer-%s-io%d", f.name, io), func(q *sim.Proc) {
+			fs.serveIONode(q, node, f, io, chunks)
+			done.Send(io)
+		})
+	}
+	fs.serveIONode(p, node, f, ios[0], groups[ios[0]])
+	for range ios[1:] {
+		done.Recv(p)
+	}
+}
+
+// serveIONode moves one request's chunks through a single I/O node:
+// mesh transfer of the payload, then FIFO disk service.
+func (fs *FileSystem) serveIONode(p *sim.Proc, node int, f *file, io int, chunks []chunk) {
+	var bytes int64
+	for _, c := range chunks {
+		bytes += c.size
+	}
+	p.Wait(fs.cfg.Mesh.TransferToIONode(node, io, bytes))
+	n := fs.ios[io]
+	n.res.Acquire(p)
+	var d time.Duration
+	for _, c := range chunks {
+		d += n.array.Service(f.name, c.off, c.size)
+	}
+	p.Wait(d)
+	n.res.Release(p)
+}

@@ -1,0 +1,293 @@
+package pfs
+
+import (
+	"fmt"
+	"time"
+
+	"paragonio/internal/pablo"
+	"paragonio/internal/sim"
+)
+
+// Handle is one node's open file descriptor. All methods must be called
+// from process context (the node's simulated process).
+//
+// The dispatch semantics follow the file's *current* access mode (which
+// setiomode can change after open), exactly as on PFS.
+type Handle struct {
+	fs    *FileSystem
+	f     *file
+	node  int
+	mode  Mode // mode at open / last setiomode (informational)
+	group *Group
+	rank  int
+
+	ptr        int64
+	recStarted bool  // M_RECORD pointer initialized
+	recBase    int64 // base offset the record pattern started from
+
+	buffered       bool
+	bufOff, bufLen int64
+
+	closed bool
+}
+
+// Node returns the compute node that owns the handle.
+func (h *Handle) Node() int { return h.node }
+
+// File returns the file's name.
+func (h *Handle) File() string { return h.f.name }
+
+// Mode returns the file's current access mode.
+func (h *Handle) Mode() Mode { return h.f.mode }
+
+// Ptr returns the handle's private file pointer. For shared-pointer
+// modes it returns the shared pointer.
+func (h *Handle) Ptr() int64 {
+	if h.f.mode.SharedPointer() {
+		return h.f.shared
+	}
+	return h.ptr
+}
+
+// Buffered reports whether client-side read buffering is enabled.
+func (h *Handle) Buffered() bool { return h.buffered }
+
+// SetBuffering enables or disables client-side read buffering — the
+// "system I/O buffering" control PRISM's developer used in version C.
+// Disabling drops the current buffer. The call itself is free (it is a
+// local flag, not a file system operation).
+func (h *Handle) SetBuffering(on bool) {
+	h.buffered = on
+	if !on {
+		h.bufOff, h.bufLen = 0, 0
+	}
+}
+
+func (h *Handle) copyTime(n int64) time.Duration {
+	return time.Duration(float64(n) / h.fs.cfg.Costs.BufferCopyBW * float64(time.Second))
+}
+
+// readData moves n bytes at off to the client, through the read buffer
+// when enabled.
+func (h *Handle) readData(p *sim.Proc, off, n int64) {
+	if n <= 0 {
+		return
+	}
+	if !h.buffered {
+		h.fs.xfer(p, h.node, h.f, off, n)
+		return
+	}
+	if off >= h.bufOff && off+n <= h.bufOff+h.bufLen {
+		// Buffer hit: no disk traffic.
+		p.Wait(h.fs.cfg.Costs.BufferHit + h.copyTime(n))
+		return
+	}
+	// Miss: fetch a full buffer (read-ahead) or the request, whichever
+	// is larger, then pay the extra copy — the penalty that makes
+	// buffering a poor fit for large requests.
+	fetch := n
+	if fetch < h.fs.cfg.BufSize {
+		fetch = h.fs.cfg.BufSize
+	}
+	if rest := h.f.size - off; fetch > rest {
+		fetch = rest
+	}
+	if fetch < n {
+		fetch = n
+	}
+	h.fs.xfer(p, h.node, h.f, off, fetch)
+	p.Wait(h.copyTime(n))
+	h.bufOff, h.bufLen = off, fetch
+}
+
+// writeData moves n bytes at off to disk (write-through) and extends the
+// file. Any read buffer is dropped to keep it coherent.
+func (h *Handle) writeData(p *sim.Proc, off, n int64) {
+	h.fs.xfer(p, h.node, h.f, off, n)
+	if off+n > h.f.size {
+		h.f.size = off + n
+	}
+	h.bufOff, h.bufLen = 0, 0
+}
+
+// clampRead returns how many of size bytes at off are readable.
+func (h *Handle) clampRead(off, size int64) int64 {
+	n := h.f.size - off
+	if n < 0 {
+		return 0
+	}
+	if n > size {
+		n = size
+	}
+	return n
+}
+
+// Read transfers up to size bytes at the current pointer, honoring the
+// file's access mode, and returns the number of bytes read (0 at EOF).
+func (h *Handle) Read(p *sim.Proc, size int64) (int64, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	if size <= 0 {
+		return 0, ErrBadSize
+	}
+	mode := h.f.mode
+	if mode.Collective() {
+		if h.group == nil {
+			return 0, ErrNotCollective
+		}
+		return h.group.collectiveData(p, h, size, false)
+	}
+	start := p.Now()
+	var n int64
+	switch mode {
+	case MUnix:
+		h.f.token.Acquire(p)
+		p.Wait(h.fs.cfg.Costs.Token)
+		off := h.ptr
+		n = h.clampRead(off, size)
+		h.readData(p, off, n)
+		h.ptr += n
+		h.f.token.Release(p)
+		h.fs.trace(h.node, pablo.OpRead, h.f.name, off, n, start, mode)
+	case MAsync:
+		off := h.ptr
+		n = h.clampRead(off, size)
+		h.readData(p, off, n)
+		h.ptr += n
+		h.fs.trace(h.node, pablo.OpRead, h.f.name, off, n, start, mode)
+	case MLog:
+		h.f.token.Acquire(p)
+		p.Wait(h.fs.cfg.Costs.Token)
+		off := h.f.shared
+		n = h.clampRead(off, size)
+		h.readData(p, off, n)
+		h.f.shared += n
+		h.f.token.Release(p)
+		h.fs.trace(h.node, pablo.OpRead, h.f.name, off, n, start, mode)
+	}
+	return n, nil
+}
+
+// Write transfers size bytes at the current pointer, honoring the file's
+// access mode, and returns the number written.
+func (h *Handle) Write(p *sim.Proc, size int64) (int64, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	if size <= 0 {
+		return 0, ErrBadSize
+	}
+	mode := h.f.mode
+	if mode.Collective() {
+		if h.group == nil {
+			return 0, ErrNotCollective
+		}
+		return h.group.collectiveData(p, h, size, true)
+	}
+	start := p.Now()
+	switch mode {
+	case MUnix:
+		h.f.token.Acquire(p)
+		p.Wait(h.fs.cfg.Costs.Token)
+		off := h.ptr
+		h.writeData(p, off, size)
+		h.ptr += size
+		h.f.token.Release(p)
+		h.fs.trace(h.node, pablo.OpWrite, h.f.name, off, size, start, mode)
+	case MAsync:
+		off := h.ptr
+		h.writeData(p, off, size)
+		h.ptr += size
+		h.fs.trace(h.node, pablo.OpWrite, h.f.name, off, size, start, mode)
+	case MLog:
+		h.f.token.Acquire(p)
+		p.Wait(h.fs.cfg.Costs.Token)
+		off := h.f.shared
+		h.writeData(p, off, size)
+		h.f.shared += size
+		h.f.token.Release(p)
+		h.fs.trace(h.node, pablo.OpWrite, h.f.name, off, size, start, mode)
+	}
+	return size, nil
+}
+
+// Seek repositions the handle's pointer to off (absolute). In M_UNIX the
+// seek updates shared atomicity/EOF bookkeeping through the file token —
+// the serialization that made seeks dominate ESCAT version B — while
+// M_ASYNC and M_RECORD seeks are purely local. Shared-pointer modes do
+// not support seeking.
+func (h *Handle) Seek(p *sim.Proc, off int64) error {
+	if h.closed {
+		return ErrClosed
+	}
+	if off < 0 {
+		return ErrBadOffset
+	}
+	mode := h.f.mode
+	start := p.Now()
+	switch mode {
+	case MUnix:
+		h.f.token.Acquire(p)
+		p.Wait(h.fs.cfg.Costs.SeekShared)
+		h.f.token.Release(p)
+	case MAsync, MRecord:
+		p.Wait(h.fs.cfg.Costs.SeekLocal)
+	default:
+		return ErrSeekCollective
+	}
+	h.ptr = off
+	h.recStarted = false
+	h.recBase = off
+	h.fs.trace(h.node, pablo.OpSeek, h.f.name, off, 0, start, mode)
+	return nil
+}
+
+// SetIOMode changes the file's access mode via an individual metadata
+// operation (the "iomode" rows of the paper's tables). Collective mode
+// changes go through Group.SetIOMode.
+func (h *Handle) SetIOMode(p *sim.Proc, mode Mode) error {
+	if h.closed {
+		return ErrClosed
+	}
+	if mode < 0 || mode >= numModes {
+		return fmt.Errorf("pfs: invalid mode %d", int(mode))
+	}
+	start := p.Now()
+	// Individual setiomode pays the same per-I/O-node renegotiation as
+	// the collective form.
+	h.fs.meta.Use(p, h.fs.cfg.Costs.SetIOMode*time.Duration(len(h.fs.ios)))
+	h.f.mode = mode
+	h.f.recSize = 0
+	h.mode = mode
+	h.fs.trace(h.node, pablo.OpIOMode, h.f.name, 0, 0, start, mode)
+	return nil
+}
+
+// Flush forces out client-side state (drops the read buffer) — the
+// "flush" row in PRISM version C's table.
+func (h *Handle) Flush(p *sim.Proc) error {
+	if h.closed {
+		return ErrClosed
+	}
+	start := p.Now()
+	p.Wait(h.fs.cfg.Costs.Request)
+	h.bufOff, h.bufLen = 0, 0
+	h.fs.trace(h.node, pablo.OpFlush, h.f.name, 0, 0, start, h.f.mode)
+	return nil
+}
+
+// Close releases the handle. PFS closes are asynchronous from the
+// client's perspective (a local teardown plus a deferred server
+// notification), so they do not queue on the metadata service.
+func (h *Handle) Close(p *sim.Proc) error {
+	if h.closed {
+		return ErrClosed
+	}
+	start := p.Now()
+	p.Wait(h.fs.cfg.Costs.Close)
+	h.f.refcount--
+	h.closed = true
+	h.fs.trace(h.node, pablo.OpClose, h.f.name, 0, 0, start, h.f.mode)
+	return nil
+}

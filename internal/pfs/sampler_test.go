@@ -1,0 +1,85 @@
+package pfs
+
+import (
+	"testing"
+	"time"
+
+	"paragonio/internal/sim"
+)
+
+// TestSamplerSeesTokenContention reproduces the mechanism behind the
+// paper's Figure 5: concurrent M_UNIX seek/write cycles pile up on the
+// file token, and the sampler observes the queue depth ramping into the
+// double digits.
+func TestSamplerSeesTokenContention(t *testing.T) {
+	r := newRig(t)
+	s := NewSampler(r.fs, 50*time.Millisecond)
+	const nodes = 16
+	bar := sim.NewBarrier(r.k, "cycle", nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		r.k.Spawn("n", func(p *sim.Proc) {
+			h, _ := r.fs.Open(p, i, "quad", MUnix)
+			for cyc := 0; cyc < 4; cyc++ {
+				bar.Await(p)
+				off := int64(cyc*nodes+i) * 2720
+				h.Seek(p, off)
+				h.Write(p, 2720)
+			}
+			h.Close(p)
+		})
+	}
+	r.run(t)
+	if got := s.MaxTokenQueue(); got < nodes/2 {
+		t.Fatalf("max token queue = %d, want >= %d under %d-way contention",
+			got, nodes/2, nodes)
+	}
+	if got := s.MaxMetaQueue(); got < nodes/2 {
+		t.Fatalf("max metadata queue = %d during the open wave", got)
+	}
+}
+
+func TestSamplerBusyMonotoneAndStops(t *testing.T) {
+	r := newRig(t)
+	r.fs.CreateFile("f", 8<<20)
+	s := NewSampler(r.fs, 10*time.Millisecond)
+	r.k.Spawn("reader", func(p *sim.Proc) {
+		h, _ := r.fs.Open(p, 0, "f", MAsync)
+		h.SetBuffering(false)
+		for i := 0; i < 40; i++ {
+			h.Read(p, 128<<10)
+		}
+		h.Close(p)
+	})
+	r.run(t)
+	samples := s.Samples()
+	if len(samples) < 5 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].T <= samples[i-1].T {
+			t.Fatal("sample times not increasing")
+		}
+		for io := range samples[i].IONodeBusy {
+			if samples[i].IONodeBusy[io] < samples[i-1].IONodeBusy[io] {
+				t.Fatal("cumulative busy time decreased")
+			}
+		}
+	}
+	// The sampler must not extend the run by more than one interval
+	// past the application's last event.
+	last := samples[len(samples)-1].T
+	if r.k.Now() > last+10*time.Millisecond {
+		t.Fatalf("sampler extended the run: now=%v last sample=%v", r.k.Now(), last)
+	}
+}
+
+func TestSamplerIntervalValidation(t *testing.T) {
+	r := newRig(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval accepted")
+		}
+	}()
+	NewSampler(r.fs, 0)
+}

@@ -1,0 +1,198 @@
+package policy
+
+import (
+	"testing"
+
+	"paragonio/internal/pfs"
+	"paragonio/internal/sim"
+)
+
+// adaptRun drives the given read script through an AdaptiveReader on a
+// 4 MB file and returns (loop virtual time, switches, final mode).
+func adaptRun(t *testing.T, script func(p *sim.Proc, a *AdaptiveReader)) (sim.Time, int, string) {
+	t.Helper()
+	r := newRig(t)
+	r.fs.CreateFile("f", 4<<20)
+	var loop sim.Time
+	var switches int
+	var mode string
+	r.k.Spawn("p", func(p *sim.Proc) {
+		h, err := r.fs.Open(p, 0, "f", pfs.MAsync)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		a := NewAdaptiveReader(h, 16)
+		t0 := p.Now()
+		script(p, a)
+		loop = p.Now() - t0
+		switches = a.Switches()
+		mode = a.Mode()
+		h.Close(p)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return loop, switches, mode
+}
+
+func TestAdaptiveDetectsSmallSequential(t *testing.T) {
+	_, switches, mode := adaptRun(t, func(p *sim.Proc, a *AdaptiveReader) {
+		for i := 0; i < 64; i++ {
+			if _, err := a.Read(p, 512); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if mode != "prefetch" {
+		t.Fatalf("mode = %s after small sequential stream", mode)
+	}
+	if switches != 1 {
+		t.Fatalf("switches = %d, want 1", switches)
+	}
+}
+
+func TestAdaptiveStaysPassthroughForLargeReads(t *testing.T) {
+	_, switches, mode := adaptRun(t, func(p *sim.Proc, a *AdaptiveReader) {
+		for i := 0; i < 32; i++ {
+			if _, err := a.Read(p, 128<<10); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if mode != "passthrough" || switches != 0 {
+		t.Fatalf("mode = %s, switches = %d", mode, switches)
+	}
+}
+
+func TestAdaptiveNearBestStaticOnSmallStream(t *testing.T) {
+	// Adaptive must land within 3x of the static prefetch reader on a
+	// long small-sequential stream (it pays one classification epoch of
+	// raw disk reads before engaging read-ahead).
+	static := func(p *sim.Proc, h *pfs.Handle) sim.Time {
+		pr := NewPrefetchReader(h, 0)
+		t0 := p.Now()
+		for i := 0; i < 512; i++ {
+			pr.Read(p, 512)
+		}
+		return p.Now() - t0
+	}
+	r := newRig(t)
+	r.fs.CreateFile("f", 4<<20)
+	var staticLoop sim.Time
+	r.k.Spawn("static", func(p *sim.Proc) {
+		h, _ := r.fs.Open(p, 0, "f", pfs.MAsync)
+		staticLoop = static(p, h)
+		h.Close(p)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	adaptive, _, _ := adaptRun(t, func(p *sim.Proc, a *AdaptiveReader) {
+		for i := 0; i < 512; i++ {
+			a.Read(p, 512)
+		}
+	})
+	if adaptive > 3*staticLoop {
+		t.Fatalf("adaptive (%v) not within 3x of static prefetch (%v)", adaptive, staticLoop)
+	}
+	// And far better than unadapted raw small reads.
+	r2 := newRig(t)
+	r2.fs.CreateFile("f", 4<<20)
+	var rawLoop sim.Time
+	r2.k.Spawn("raw", func(p *sim.Proc) {
+		h, _ := r2.fs.Open(p, 0, "f", pfs.MAsync)
+		h.SetBuffering(false)
+		t0 := p.Now()
+		for i := 0; i < 512; i++ {
+			h.Read(p, 512)
+		}
+		rawLoop = p.Now() - t0
+		h.Close(p)
+	})
+	if err := r2.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if adaptive*3 > rawLoop {
+		t.Fatalf("adaptive (%v) not clearly better than raw (%v)", adaptive, rawLoop)
+	}
+}
+
+func TestAdaptiveSwitchesBackOnPhaseChange(t *testing.T) {
+	// PRISM-like stream: small sequential header, then large body reads.
+	// The reader must enter prefetch for the header and return to
+	// passthrough for the body, reading every byte exactly once.
+	var total int64
+	_, switches, mode := adaptRun(t, func(p *sim.Proc, a *AdaptiveReader) {
+		for i := 0; i < 48; i++ {
+			n, err := a.Read(p, 64)
+			if err != nil {
+				t.Error(err)
+			}
+			total += n
+		}
+		if err := a.Seek(p, 1<<20); err != nil {
+			t.Error(err)
+		}
+		for i := 0; i < 20; i++ {
+			n, err := a.Read(p, 128<<10)
+			if err != nil {
+				t.Error(err)
+			}
+			total += n
+		}
+	})
+	if mode != "passthrough" {
+		t.Fatalf("final mode = %s", mode)
+	}
+	if switches < 2 {
+		t.Fatalf("switches = %d, want >= 2 (in and out of prefetch)", switches)
+	}
+	// 48 x 64 header bytes + body reads clamped at EOF (4 MB file, read
+	// from 1 MB: 3 MB available, 20 x 128 KB = 2.5 MB requested).
+	if want := int64(48*64 + 20*(128<<10)); total != want {
+		t.Fatalf("read %d bytes, want %d", total, want)
+	}
+}
+
+func TestAdaptiveReadPositionsCorrectly(t *testing.T) {
+	// After prefetch mode leaves the handle ahead, a mode switch must
+	// not skip data: logical offsets remain contiguous.
+	r := newRig(t)
+	r.fs.CreateFile("f", 1<<20)
+	r.k.Spawn("p", func(p *sim.Proc) {
+		h, _ := r.fs.Open(p, 0, "f", pfs.MAsync)
+		a := NewAdaptiveReader(h, 8)
+		// 24 small reads -> prefetch engaged; then large reads force the
+		// switch back; positions must continue from 24*100.
+		for i := 0; i < 24; i++ {
+			a.Read(p, 100)
+		}
+		for i := 0; i < 16; i++ {
+			a.Read(p, 32<<10)
+		}
+		if a.pos != int64(24*100+16*(32<<10)) {
+			t.Errorf("pos = %d", a.pos)
+		}
+		h.Close(p)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveBadSize(t *testing.T) {
+	r := newRig(t)
+	r.fs.CreateFile("f", 1024)
+	r.k.Spawn("p", func(p *sim.Proc) {
+		h, _ := r.fs.Open(p, 0, "f", pfs.MAsync)
+		a := NewAdaptiveReader(h, 0)
+		if _, err := a.Read(p, 0); err != pfs.ErrBadSize {
+			t.Errorf("Read(0) err = %v", err)
+		}
+		h.Close(p)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+package policy
+
+import (
+	"paragonio/internal/pfs"
+	"paragonio/internal/sim"
+)
+
+// AdaptiveWriter is the write-side counterpart of AdaptiveReader: it
+// watches its own write stream and engages write-behind aggregation for
+// small sequential appends (the measurement/history/result streams both
+// applications funnel through node zero), while passing large or
+// non-sequential writes straight through.
+//
+// Correctness note: aggregation defers data; Flush (or Close of the
+// underlying handle after Flush) makes it durable. Seek flushes
+// pending data before repositioning.
+type AdaptiveWriter struct {
+	h   *pfs.Handle
+	pos int64
+
+	window     int
+	smallVotes int
+	seqVotes   int
+	votes      int
+	lastEnd    int64
+
+	aggregating bool
+	agg         *AggWriter
+	switches    int
+
+	logicalWrites int
+	bytes         int64
+}
+
+// NewAdaptiveWriter wraps a handle; window is the requests-per-epoch
+// classification width (default 16).
+func NewAdaptiveWriter(h *pfs.Handle, window int) *AdaptiveWriter {
+	if window <= 0 {
+		window = 16
+	}
+	return &AdaptiveWriter{h: h, window: window, pos: h.Ptr()}
+}
+
+// Mode returns the current service mode name.
+func (a *AdaptiveWriter) Mode() string {
+	if a.aggregating {
+		return "write-behind"
+	}
+	return "passthrough"
+}
+
+// Switches returns the number of mode changes.
+func (a *AdaptiveWriter) Switches() int { return a.switches }
+
+// Stats returns (logical writes, logical bytes).
+func (a *AdaptiveWriter) Stats() (writes int, bytes int64) {
+	return a.logicalWrites, a.bytes
+}
+
+func (a *AdaptiveWriter) observe(p *sim.Proc, off, size int64) error {
+	if size <= adaptiveSmall {
+		a.smallVotes++
+	}
+	if off == a.lastEnd && a.votes > 0 {
+		a.seqVotes++
+	}
+	a.lastEnd = off + size
+	a.votes++
+	if a.votes < a.window {
+		return nil
+	}
+	want := a.aggregating
+	if 3*a.smallVotes >= 2*a.votes && 3*a.seqVotes >= 2*a.votes {
+		want = true
+	} else if 3*a.smallVotes < a.votes || 3*a.seqVotes < a.votes {
+		want = false
+	}
+	if want != a.aggregating {
+		if a.aggregating {
+			// Leaving write-behind: push out pending data first.
+			if err := a.agg.Flush(p); err != nil {
+				return err
+			}
+			a.agg = nil
+		}
+		a.aggregating = want
+		a.switches++
+	}
+	a.smallVotes, a.seqVotes, a.votes = 0, 0, 0
+	return nil
+}
+
+// position brings the handle to the logical write position.
+func (a *AdaptiveWriter) position(p *sim.Proc) error {
+	if a.h.Ptr() != a.pos {
+		return a.h.Seek(p, a.pos)
+	}
+	return nil
+}
+
+// Write appends size bytes at the logical position under the current
+// policy.
+func (a *AdaptiveWriter) Write(p *sim.Proc, size int64) error {
+	if size <= 0 {
+		return pfs.ErrBadSize
+	}
+	if err := a.observe(p, a.pos, size); err != nil {
+		return err
+	}
+	a.logicalWrites++
+	a.bytes += size
+	if a.aggregating {
+		if a.agg == nil {
+			if err := a.position(p); err != nil {
+				return err
+			}
+			a.agg = NewAggWriter(a.h, 0)
+		}
+		if err := a.agg.Write(p, size); err != nil {
+			return err
+		}
+	} else {
+		if err := a.position(p); err != nil {
+			return err
+		}
+		if _, err := a.h.Write(p, size); err != nil {
+			return err
+		}
+	}
+	a.pos += size
+	return nil
+}
+
+// Flush pushes out any deferred data.
+func (a *AdaptiveWriter) Flush(p *sim.Proc) error {
+	if a.agg != nil {
+		return a.agg.Flush(p)
+	}
+	return nil
+}
+
+// Seek flushes pending data and repositions the logical pointer.
+func (a *AdaptiveWriter) Seek(p *sim.Proc, off int64) error {
+	if err := a.Flush(p); err != nil {
+		return err
+	}
+	if err := a.h.Seek(p, off); err != nil {
+		return err
+	}
+	a.pos = off
+	a.lastEnd = off
+	a.agg = nil
+	return nil
+}

@@ -1,0 +1,139 @@
+package policy
+
+import (
+	"testing"
+
+	"paragonio/internal/pfs"
+	"paragonio/internal/sim"
+)
+
+func TestAdaptiveWriterEngagesWriteBehind(t *testing.T) {
+	r := newRig(t)
+	var mode string
+	var switches int
+	r.k.Spawn("p", func(p *sim.Proc) {
+		h, _ := r.fs.Open(p, 0, "out", pfs.MAsync)
+		w := NewAdaptiveWriter(h, 16)
+		for i := 0; i < 64; i++ {
+			if err := w.Write(p, 96); err != nil {
+				t.Error(err)
+			}
+		}
+		if err := w.Flush(p); err != nil {
+			t.Error(err)
+		}
+		mode = w.Mode()
+		switches = w.Switches()
+		h.Close(p)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mode != "write-behind" || switches != 1 {
+		t.Fatalf("mode = %s, switches = %d", mode, switches)
+	}
+	// All bytes durable after flush.
+	if got := r.fs.FileSize("out"); got != 64*96 {
+		t.Fatalf("file size = %d, want %d", got, 64*96)
+	}
+}
+
+func TestAdaptiveWriterPassthroughForLarge(t *testing.T) {
+	r := newRig(t)
+	var mode string
+	r.k.Spawn("p", func(p *sim.Proc) {
+		h, _ := r.fs.Open(p, 0, "out", pfs.MAsync)
+		w := NewAdaptiveWriter(h, 8)
+		for i := 0; i < 32; i++ {
+			if err := w.Write(p, 256<<10); err != nil {
+				t.Error(err)
+			}
+		}
+		mode = w.Mode()
+		h.Close(p)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mode != "passthrough" {
+		t.Fatalf("mode = %s", mode)
+	}
+	if got := r.fs.FileSize("out"); got != 32*(256<<10) {
+		t.Fatalf("file size = %d", got)
+	}
+}
+
+func TestAdaptiveWriterFasterThanRawSmallStream(t *testing.T) {
+	loop := func(adaptive bool) sim.Time {
+		r := newRig(t)
+		var d sim.Time
+		r.k.Spawn("p", func(p *sim.Proc) {
+			h, _ := r.fs.Open(p, 0, "out", pfs.MAsync)
+			t0 := p.Now()
+			if adaptive {
+				w := NewAdaptiveWriter(h, 16)
+				for i := 0; i < 400; i++ {
+					w.Write(p, 128)
+				}
+				w.Flush(p)
+			} else {
+				for i := 0; i < 400; i++ {
+					h.Write(p, 128)
+				}
+			}
+			d = p.Now() - t0
+			h.Close(p)
+		})
+		if err := r.k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if a, raw := loop(true), loop(false); a*3 >= raw {
+		t.Fatalf("adaptive writes (%v) not clearly faster than raw (%v)", a, raw)
+	}
+}
+
+func TestAdaptiveWriterSeekFlushesAndContinues(t *testing.T) {
+	r := newRig(t)
+	r.k.Spawn("p", func(p *sim.Proc) {
+		h, _ := r.fs.Open(p, 0, "out", pfs.MAsync)
+		w := NewAdaptiveWriter(h, 8)
+		for i := 0; i < 24; i++ {
+			w.Write(p, 64) // engages write-behind
+		}
+		if err := w.Seek(p, 1<<20); err != nil {
+			t.Error(err)
+		}
+		if err := w.Write(p, 4096); err != nil {
+			t.Error(err)
+		}
+		if err := w.Flush(p); err != nil {
+			t.Error(err)
+		}
+		h.Close(p)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The first 24*64 bytes were flushed by Seek; the post-seek write
+	// extends the file past 1 MB.
+	if got := r.fs.FileSize("out"); got != 1<<20+4096 {
+		t.Fatalf("file size = %d, want %d", got, 1<<20+4096)
+	}
+}
+
+func TestAdaptiveWriterBadSize(t *testing.T) {
+	r := newRig(t)
+	r.k.Spawn("p", func(p *sim.Proc) {
+		h, _ := r.fs.Open(p, 0, "out", pfs.MAsync)
+		w := NewAdaptiveWriter(h, 0)
+		if err := w.Write(p, 0); err != pfs.ErrBadSize {
+			t.Errorf("Write(0) err = %v", err)
+		}
+		h.Close(p)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package policy operationalizes the paper's conclusions (section 7):
+// it classifies per-file access patterns from Pablo traces and recommends
+// the file-system features — collective opens, access modes, request
+// aggregation, prefetching, write-behind — that would serve each pattern,
+// and provides client-side aggregation/prefetch wrappers to quantify what
+// those policies buy.
+//
+// Run against the version A traces, the advisor reproduces the tuning
+// decisions the application developers made by hand over eighteen months
+// (broadcast-style global reads, M_ASYNC staging writes, M_RECORD
+// reloads), which is exactly the paper's argument for smarter file
+// systems.
+package policy
+
+import (
+	"sort"
+
+	"paragonio/internal/pablo"
+)
+
+// Profile summarizes one file's observed access pattern.
+type Profile struct {
+	File string
+
+	Readers []int // nodes that read
+	Writers []int // nodes that wrote
+
+	Reads, Writes, Seeks, Opens, Gopens int
+
+	BytesRead, BytesWritten int64
+
+	// MeanReadSize and MeanWriteSize are in bytes (0 when no ops).
+	MeanReadSize, MeanWriteSize float64
+
+	// SmallReadFrac: fraction of reads below 2 KB (the paper's "small"
+	// threshold). SmallWriteFrac: fraction of writes below 4 KB —
+	// writes that cannot amortize positioning even within one stripe.
+	SmallReadFrac, SmallWriteFrac float64
+
+	// SeqReadFrac: fraction of a node's reads continuing at its previous
+	// end offset, averaged over nodes.
+	SeqReadFrac float64
+
+	// IdenticalReads: every reading node issued the same (offset, size)
+	// sequence — the signature of a broadcast-worthy global read.
+	IdenticalReads bool
+
+	// InterleavedWrites: multiple writers whose offsets interleave in a
+	// regular node-strided pattern (the staging-write signature).
+	InterleavedWrites bool
+
+	// FixedReadSize is non-zero when >90% of non-trivial reads share one
+	// size (an M_RECORD candidate when nodes read disjoint areas).
+	FixedReadSize int64
+
+	// SeeksPerWrite: seek ops per write op (pointer-repositioning load).
+	SeeksPerWrite float64
+
+	// Modes observed on the file's operations (all types), and on the
+	// data operations specifically — mode changes mid-file (the PRISM
+	// restart pattern) make the distinction matter.
+	Modes      map[string]int
+	ReadModes  map[string]int
+	WriteModes map[string]int
+}
+
+// nodeKey identifies one node's stream against one file.
+type nodeKey struct {
+	file string
+	node int
+}
+
+// Classify builds a Profile for each file in the trace, keyed by name.
+func Classify(t *pablo.Trace) map[string]*Profile {
+	out := make(map[string]*Profile)
+	lastEnd := make(map[nodeKey]int64)
+	seqHits := make(map[nodeKey]int)
+	readsBy := make(map[nodeKey]int)
+	readSeq := make(map[nodeKey][]pablo.Event)
+	writeOffsets := make(map[string]map[int][]int64)
+	readSizes := make(map[string]map[int64]int)
+
+	get := func(file string) *Profile {
+		p := out[file]
+		if p == nil {
+			p = &Profile{
+				File:       file,
+				Modes:      make(map[string]int),
+				ReadModes:  make(map[string]int),
+				WriteModes: make(map[string]int),
+			}
+			out[file] = p
+		}
+		return p
+	}
+	readerSet := make(map[string]map[int]bool)
+	writerSet := make(map[string]map[int]bool)
+
+	for _, ev := range t.Events() {
+		if ev.File == "" {
+			continue
+		}
+		p := get(ev.File)
+		p.Modes[ev.Mode]++
+		k := nodeKey{ev.File, ev.Node}
+		switch ev.Op {
+		case pablo.OpOpen:
+			p.Opens++
+		case pablo.OpGopen:
+			p.Gopens++
+		case pablo.OpSeek:
+			p.Seeks++
+		case pablo.OpRead:
+			if ev.Size <= 0 {
+				continue
+			}
+			p.Reads++
+			p.ReadModes[ev.Mode]++
+			p.BytesRead += ev.Size
+			if ev.Size < 2048 {
+				p.SmallReadFrac++ // normalized later
+			}
+			if readerSet[ev.File] == nil {
+				readerSet[ev.File] = map[int]bool{}
+			}
+			readerSet[ev.File][ev.Node] = true
+			if lastEnd[k] == ev.Offset && readsBy[k] > 0 {
+				seqHits[k]++
+			}
+			readsBy[k]++
+			lastEnd[k] = ev.Offset + ev.Size
+			readSeq[k] = append(readSeq[k], ev)
+			if readSizes[ev.File] == nil {
+				readSizes[ev.File] = map[int64]int{}
+			}
+			readSizes[ev.File][ev.Size]++
+		case pablo.OpWrite:
+			if ev.Size <= 0 {
+				continue
+			}
+			p.Writes++
+			p.WriteModes[ev.Mode]++
+			p.BytesWritten += ev.Size
+			if ev.Size < 4096 {
+				p.SmallWriteFrac++
+			}
+			if writerSet[ev.File] == nil {
+				writerSet[ev.File] = map[int]bool{}
+			}
+			writerSet[ev.File][ev.Node] = true
+			if writeOffsets[ev.File] == nil {
+				writeOffsets[ev.File] = map[int][]int64{}
+			}
+			writeOffsets[ev.File][ev.Node] = append(writeOffsets[ev.File][ev.Node], ev.Offset)
+		}
+	}
+
+	for file, p := range out {
+		p.Readers = sortedNodes(readerSet[file])
+		p.Writers = sortedNodes(writerSet[file])
+		if p.Reads > 0 {
+			p.MeanReadSize = float64(p.BytesRead) / float64(p.Reads)
+			p.SmallReadFrac /= float64(p.Reads)
+		}
+		if p.Writes > 0 {
+			p.MeanWriteSize = float64(p.BytesWritten) / float64(p.Writes)
+			p.SmallWriteFrac /= float64(p.Writes)
+			p.SeeksPerWrite = float64(p.Seeks) / float64(p.Writes)
+		}
+		// Sequentiality: average per-node fraction.
+		var seqSum float64
+		var nodes int
+		for k, n := range readsBy {
+			if k.file != file || n < 2 {
+				continue
+			}
+			seqSum += float64(seqHits[k]) / float64(n-1)
+			nodes++
+		}
+		if nodes > 0 {
+			p.SeqReadFrac = seqSum / float64(nodes)
+		}
+		p.IdenticalReads = identicalReads(file, p.Readers, readSeq)
+		p.InterleavedWrites = interleavedWrites(writeOffsets[file])
+		p.FixedReadSize = dominantSize(readSizes[file], p.Reads)
+	}
+	return out
+}
+
+func sortedNodes(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// identicalReads reports whether every reading node issued the same
+// (offset, size) sequence.
+func identicalReads(file string, readers []int, seq map[nodeKey][]pablo.Event) bool {
+	if len(readers) < 2 {
+		return false
+	}
+	ref := seq[nodeKey{file, readers[0]}]
+	for _, node := range readers[1:] {
+		other := seq[nodeKey{file, node}]
+		if len(other) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if ref[i].Offset != other[i].Offset || ref[i].Size != other[i].Size {
+				return false
+			}
+		}
+	}
+	return len(ref) > 0
+}
+
+// interleavedWrites reports whether several writers wrote node-strided
+// interleaved offsets (each node's successive offsets advance by the
+// same stride, and nodes' bases differ).
+func interleavedWrites(byNode map[int][]int64) bool {
+	if len(byNode) < 2 {
+		return false
+	}
+	var strides []int64
+	for _, offs := range byNode {
+		if len(offs) < 2 {
+			return false
+		}
+		stride := offs[1] - offs[0]
+		if stride <= 0 {
+			return false
+		}
+		for i := 2; i < len(offs); i++ {
+			if offs[i]-offs[i-1] != stride {
+				return false
+			}
+		}
+		strides = append(strides, stride)
+	}
+	for _, s := range strides[1:] {
+		if s != strides[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// dominantSize returns the request size covering >90% of reads, or 0.
+func dominantSize(counts map[int64]int, total int) int64 {
+	if total == 0 {
+		return 0
+	}
+	for size, n := range counts {
+		if float64(n) > 0.9*float64(total) {
+			return size
+		}
+	}
+	return 0
+}

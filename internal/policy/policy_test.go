@@ -1,0 +1,391 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"paragonio/internal/apps/escat"
+	"paragonio/internal/apps/prism"
+	"paragonio/internal/mesh"
+	"paragonio/internal/pablo"
+	"paragonio/internal/pfs"
+	"paragonio/internal/sim"
+)
+
+func mkRead(node int, file string, off, size int64, mode string) pablo.Event {
+	return pablo.Event{Node: node, Op: pablo.OpRead, File: file, Offset: off,
+		Size: size, Duration: time.Millisecond, Mode: mode}
+}
+
+func mkWrite(node int, file string, off, size int64, mode string) pablo.Event {
+	return pablo.Event{Node: node, Op: pablo.OpWrite, File: file, Offset: off,
+		Size: size, Duration: time.Millisecond, Mode: mode}
+}
+
+func TestClassifyIdenticalReads(t *testing.T) {
+	tr := pablo.NewTrace()
+	for node := 0; node < 4; node++ {
+		off := int64(0)
+		for i := 0; i < 10; i++ {
+			tr.Record(mkRead(node, "input", off, 100, "M_UNIX"))
+			off += 100
+		}
+	}
+	p := Classify(tr)["input"]
+	if p == nil {
+		t.Fatal("no profile")
+	}
+	if !p.IdenticalReads {
+		t.Fatal("identical reads not detected")
+	}
+	if len(p.Readers) != 4 || p.Reads != 40 {
+		t.Fatalf("readers %v, reads %d", p.Readers, p.Reads)
+	}
+	if p.SeqReadFrac < 0.99 {
+		t.Fatalf("SeqReadFrac = %g", p.SeqReadFrac)
+	}
+}
+
+func TestClassifyInterleavedWrites(t *testing.T) {
+	tr := pablo.NewTrace()
+	const nodes, size = 4, 2720
+	for cyc := 0; cyc < 5; cyc++ {
+		for node := 0; node < nodes; node++ {
+			off := int64(cyc*nodes+node) * size
+			tr.Record(pablo.Event{Node: node, Op: pablo.OpSeek, File: "quad", Offset: off, Mode: "M_UNIX"})
+			tr.Record(mkWrite(node, "quad", off, size, "M_UNIX"))
+		}
+	}
+	p := Classify(tr)["quad"]
+	if !p.InterleavedWrites {
+		t.Fatal("interleaved writes not detected")
+	}
+	if p.SeeksPerWrite != 1 {
+		t.Fatalf("SeeksPerWrite = %g", p.SeeksPerWrite)
+	}
+}
+
+func TestClassifyFixedReadSize(t *testing.T) {
+	tr := pablo.NewTrace()
+	for node := 0; node < 4; node++ {
+		for round := 0; round < 5; round++ {
+			off := int64(round*4+node) * 131072
+			tr.Record(mkRead(node, "quad", off, 131072, "M_RECORD"))
+		}
+	}
+	p := Classify(tr)["quad"]
+	if p.FixedReadSize != 131072 {
+		t.Fatalf("FixedReadSize = %d", p.FixedReadSize)
+	}
+	if p.IdenticalReads {
+		t.Fatal("disjoint reads misclassified as identical")
+	}
+}
+
+func TestAdviseGlobalRead(t *testing.T) {
+	tr := pablo.NewTrace()
+	for node := 0; node < 8; node++ {
+		tr.Record(pablo.Event{Node: node, Op: pablo.OpOpen, File: "input", Mode: "M_UNIX"})
+		off := int64(0)
+		for i := 0; i < 20; i++ {
+			tr.Record(mkRead(node, "input", off, 200, "M_UNIX"))
+			off += 200
+		}
+	}
+	recs := Advise(Classify(tr)["input"], Options{})
+	if !hasKind(recs, UseGlobalRead) {
+		t.Fatalf("no global-read advice in %v", recs)
+	}
+	if !hasKind(recs, UseGopen) {
+		t.Fatalf("no gopen advice for 8 concurrent opens in %v", recs)
+	}
+	if !hasKind(recs, EnablePrefetch) {
+		t.Fatalf("no prefetch advice for small sequential reads in %v", recs)
+	}
+}
+
+func TestAdviseAsyncWrites(t *testing.T) {
+	tr := pablo.NewTrace()
+	const nodes, size = 8, 2720
+	for cyc := 0; cyc < 4; cyc++ {
+		for node := 0; node < nodes; node++ {
+			off := int64(cyc*nodes+node) * size
+			tr.Record(pablo.Event{Node: node, Op: pablo.OpSeek, File: "quad", Offset: off, Mode: "M_UNIX"})
+			tr.Record(mkWrite(node, "quad", off, size, "M_UNIX"))
+		}
+	}
+	recs := Advise(Classify(tr)["quad"], Options{})
+	if !hasKind(recs, UseAsyncWrites) {
+		t.Fatalf("no async-write advice in %v", recs)
+	}
+}
+
+func TestAdviseRecordAndAlignment(t *testing.T) {
+	tr := pablo.NewTrace()
+	for node := 0; node < 4; node++ {
+		for round := 0; round < 4; round++ {
+			off := int64(round*4+node) * 100000
+			tr.Record(mkRead(node, "data", off, 100000, "M_UNIX"))
+		}
+	}
+	recs := Advise(Classify(tr)["data"], Options{})
+	if !hasKind(recs, UseRecordReads) {
+		t.Fatalf("no record advice in %v", recs)
+	}
+	if !hasKind(recs, AlignToStripe) {
+		t.Fatalf("no alignment advice for 100000-byte records in %v", recs)
+	}
+}
+
+func TestAdviseQuietOnTinyProfiles(t *testing.T) {
+	tr := pablo.NewTrace()
+	tr.Record(mkRead(0, "f", 0, 100, "M_UNIX"))
+	if recs := Advise(Classify(tr)["f"], Options{}); recs != nil {
+		t.Fatalf("advice on trivial profile: %v", recs)
+	}
+}
+
+// TestAdvisorReproducesESCATTuning is the package's headline property:
+// fed version A's trace, the advisor recommends the optimizations the
+// developers applied by hand to reach versions B and C.
+func TestAdvisorReproducesESCATTuning(t *testing.T) {
+	d := escat.Ethylene()
+	d.Nodes = 16
+	d.HeaderReads = 30
+	d.Cycles = 6
+	d.CycleCompute = 2 * time.Second
+	d.CycleJitter = 500 * time.Millisecond
+	d.SetupCompute = time.Second
+	d.EnergyCompute = time.Second
+	res, err := escat.Run(d, escat.VersionA(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := AdviseAll(Classify(res.Trace), Options{})
+	// Input files: all nodes read identical data -> global read + gopen.
+	if !hasFileKind(recs, "escat/input.0", UseGlobalRead) {
+		t.Errorf("no global-read advice for input files; recs=%v", recs)
+	}
+	// Staging file: node-zero small writes -> write-behind/aggregation.
+	if !hasFileKind(recs, "escat/quad.0", UseWriteBehind) {
+		t.Errorf("no write-behind advice for staging writes; recs=%v", recs)
+	}
+}
+
+// TestAdvisorReproducesPRISMBTuning: version B's staging pattern (the
+// M_UNIX interleaved writes of ESCAT B) draws the M_ASYNC advice that
+// became version C.
+func TestAdvisorReproducesESCATBToC(t *testing.T) {
+	d := escat.Ethylene()
+	d.Nodes = 16
+	d.HeaderReads = 30
+	d.Cycles = 6
+	d.CycleCompute = 2 * time.Second
+	d.CycleJitter = 500 * time.Millisecond
+	d.SetupCompute = time.Second
+	d.EnergyCompute = time.Second
+	res, err := escat.Run(d, escat.VersionB(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := AdviseAll(Classify(res.Trace), Options{})
+	if !hasFileKind(recs, "escat/quad.0", UseAsyncWrites) {
+		t.Errorf("no M_ASYNC advice for B's staging writes; recs=%v", recs)
+	}
+}
+
+func TestAdvisorOnPRISMVersionA(t *testing.T) {
+	d := prism.TestProblem()
+	d.Nodes = 8
+	d.Steps = 20
+	d.CheckpointEvery = 10
+	d.StepCompute = 200 * time.Millisecond
+	d.SetupCompute = time.Second
+	d.PostCompute = time.Second
+	res, err := prism.Run(d, prism.VersionA(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := AdviseAll(Classify(res.Trace), Options{})
+	if !hasFileKind(recs, "prism/params", UseGlobalRead) {
+		t.Errorf("no global-read advice for the parameter file; recs=%v", recs)
+	}
+	if !hasFileKind(recs, "prism/measurements", UseWriteBehind) {
+		t.Errorf("no write-behind advice for the measurement stream; recs=%v", recs)
+	}
+}
+
+func hasKind(recs []Recommendation, k Kind) bool {
+	for _, r := range recs {
+		if r.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+func hasFileKind(recs []Recommendation, file string, k Kind) bool {
+	for _, r := range recs {
+		if r.File == file && r.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- wrapper tests ----
+
+type rig struct {
+	k  *sim.Kernel
+	fs *pfs.FileSystem
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := sim.NewKernel()
+	m := mesh.MustNew(mesh.DefaultConfig())
+	fs, err := pfs.New(k, pfs.DefaultConfig(m), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{k: k, fs: fs}
+}
+
+func TestAggWriterCoalesces(t *testing.T) {
+	r := newRig(t)
+	var logical, physical int
+	r.k.Spawn("w", func(p *sim.Proc) {
+		h, _ := r.fs.Open(p, 0, "out", pfs.MAsync)
+		w := NewAggWriter(h, 0)
+		for i := 0; i < 100; i++ {
+			if err := w.Write(p, 2720); err != nil {
+				t.Error(err)
+			}
+		}
+		if err := w.Flush(p); err != nil {
+			t.Error(err)
+		}
+		logical, physical, _ = w.Stats()
+		h.Close(p)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if logical != 100 {
+		t.Fatalf("logical = %d", logical)
+	}
+	// 272000 bytes at 64KB threshold: 4 full + 1 remainder.
+	if physical != 5 {
+		t.Fatalf("physical = %d, want 5", physical)
+	}
+	if got := r.fs.FileSize("out"); got != 272000 {
+		t.Fatalf("file size = %d", got)
+	}
+}
+
+func TestAggWriterFasterThanRaw(t *testing.T) {
+	run := func(agg bool) sim.Time {
+		k := sim.NewKernel()
+		m := mesh.MustNew(mesh.DefaultConfig())
+		fs, err := pfs.New(k, pfs.DefaultConfig(m), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &rig{k: k, fs: fs}
+		var loop sim.Time
+		r.k.Spawn("w", func(p *sim.Proc) {
+			h, _ := r.fs.Open(p, 0, "out", pfs.MAsync)
+			t0 := p.Now()
+			if agg {
+				w := NewAggWriter(h, 0)
+				for i := 0; i < 200; i++ {
+					w.Write(p, 1000)
+				}
+				w.Flush(p)
+			} else {
+				for i := 0; i < 200; i++ {
+					h.Write(p, 1000)
+				}
+			}
+			loop = p.Now() - t0
+			h.Close(p)
+		})
+		if err := r.k.Run(); err != nil {
+			panic(err)
+		}
+		return loop
+	}
+	if a, raw := run(true), run(false); a*3 >= raw {
+		t.Fatalf("aggregated writes (%v) not clearly faster than raw (%v)", a, raw)
+	}
+}
+
+func TestPrefetchReaderReducesRequests(t *testing.T) {
+	r := newRig(t)
+	var logical, physical int
+	r.k.Spawn("rd", func(p *sim.Proc) {
+		r.fs.CreateFile("in", 1<<20)
+		h, _ := r.fs.Open(p, 0, "in", pfs.MAsync)
+		pr := NewPrefetchReader(h, 0)
+		for i := 0; i < 256; i++ {
+			if _, err := pr.Read(p, 1024); err != nil {
+				t.Error(err)
+			}
+		}
+		logical, physical, _ = pr.Stats()
+		h.Close(p)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if logical != 256 {
+		t.Fatalf("logical = %d", logical)
+	}
+	// 256 KB through a 256 KB window: one physical read.
+	if physical != 1 {
+		t.Fatalf("physical = %d, want 1", physical)
+	}
+}
+
+func TestPrefetchReaderEOF(t *testing.T) {
+	r := newRig(t)
+	var got int64
+	r.k.Spawn("rd", func(p *sim.Proc) {
+		r.fs.CreateFile("in", 1500)
+		h, _ := r.fs.Open(p, 0, "in", pfs.MAsync)
+		pr := NewPrefetchReader(h, 1024)
+		n1, _ := pr.Read(p, 1000)
+		n2, _ := pr.Read(p, 1000) // clamped to 500
+		n3, _ := pr.Read(p, 1000) // EOF
+		got = n1 + n2 + n3
+		if n3 != 0 {
+			t.Errorf("read past EOF returned %d", n3)
+		}
+		h.Close(p)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1500 {
+		t.Fatalf("total = %d, want 1500", got)
+	}
+}
+
+func TestWrapperErrors(t *testing.T) {
+	r := newRig(t)
+	r.k.Spawn("w", func(p *sim.Proc) {
+		h, _ := r.fs.Open(p, 0, "out", pfs.MAsync)
+		w := NewAggWriter(h, 100)
+		if err := w.Write(p, 0); err != pfs.ErrBadSize {
+			t.Errorf("Write(0) err = %v", err)
+		}
+		pr := NewPrefetchReader(h, 100)
+		if _, err := pr.Read(p, -1); err != pfs.ErrBadSize {
+			t.Errorf("Read(-1) err = %v", err)
+		}
+		h.Close(p)
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

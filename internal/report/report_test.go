@@ -1,0 +1,188 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignsColumns(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b, "Demo", []string{"Operation", "A", "B"}, [][]string{
+		{"open", "53.68", "0.00"},
+		{"read", "42.64", "0.24"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Demo") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, rule, header, rule, two rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Column starts must align between header and rows.
+	hdr := lines[2]
+	row := lines[4]
+	if strings.Index(hdr, "A") != strings.Index(row, "53.68") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b, "", []string{"x"}, [][]string{{"1", "2", "3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "3") {
+		t.Fatal("extra cells dropped")
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	var b strings.Builder
+	err := CSV(&b, []string{"name", "value"}, [][]string{
+		{"plain", "1"},
+		{"with,comma", "2"},
+		{`with"quote`, "3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Fatalf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Fatalf("quote cell not escaped:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "name,value\n") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+}
+
+func TestPlotRenderScatter(t *testing.T) {
+	var b strings.Builder
+	p := Plot{Title: "sizes", XLabel: "time (s)", YLabel: "bytes", Width: 40, Height: 10, YLog: true}
+	err := p.Render(&b, []Series{
+		{Name: "version A", Glyph: 'a', Points: []Point{{0, 100}, {10, 100000}, {20, 100}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "sizes") || !strings.Contains(out, "a = version A") {
+		t.Fatalf("missing title or legend:\n%s", out)
+	}
+	if strings.Count(out, "a") < 3 { // at least the 3 marks (legend adds more)
+		t.Fatalf("marks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "time (s)") {
+		t.Fatalf("missing x label:\n%s", out)
+	}
+}
+
+func TestPlotRenderEmpty(t *testing.T) {
+	var b strings.Builder
+	p := Plot{Title: "empty"}
+	if err := p.Render(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "(no data)") {
+		t.Fatalf("empty plot output: %q", b.String())
+	}
+}
+
+func TestPlotLogAxisDropsNonPositive(t *testing.T) {
+	var b strings.Builder
+	p := Plot{Width: 20, Height: 5, XLog: true}
+	err := p.Render(&b, []Series{{Name: "s", Glyph: '*', Points: []Point{{0, 1}, {-5, 2}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "(no data)") {
+		t.Fatalf("non-positive log-x points should be dropped:\n%s", b.String())
+	}
+}
+
+func TestPlotLineInterpolates(t *testing.T) {
+	render := func(line bool) string {
+		var b strings.Builder
+		p := Plot{Width: 40, Height: 10}
+		p.Render(&b, []Series{{Name: "s", Glyph: '*', Line: line,
+			Points: []Point{{0, 0}, {1, 1}}}})
+		return b.String()
+	}
+	if strings.Count(render(true), "*") <= strings.Count(render(false), "*") {
+		t.Fatal("line mode should add interpolated marks")
+	}
+}
+
+func TestPlotSinglePointDegenerateRange(t *testing.T) {
+	var b strings.Builder
+	p := Plot{Width: 20, Height: 5}
+	if err := p.Render(&b, []Series{{Name: "s", Glyph: '#', Points: []Point{{5, 5}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "#") {
+		t.Fatalf("single point not rendered:\n%s", b.String())
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("SortedKeys = %v", got)
+	}
+}
+
+func TestFmtAxis(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1500000: "1.5e+06",
+		250:     "250",
+		3.25:    "3.25",
+		0.004:   "0.004",
+	}
+	for v, want := range cases {
+		if got := fmtAxis(v); got != want {
+			t.Errorf("fmtAxis(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestHBar(t *testing.T) {
+	var b strings.Builder
+	err := HBar(&b, "load", []string{"io0", "io1", "io2"}, []float64{10, 5, 0}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if strings.Count(lines[1], "#") != 20 {
+		t.Fatalf("max bar not full width:\n%s", out)
+	}
+	if strings.Count(lines[2], "#") != 10 {
+		t.Fatalf("half bar wrong:\n%s", out)
+	}
+	if strings.Count(lines[3], "#") != 0 {
+		t.Fatalf("zero bar drawn:\n%s", out)
+	}
+}
+
+func TestHBarErrors(t *testing.T) {
+	var b strings.Builder
+	if err := HBar(&b, "", []string{"a"}, []float64{1, 2}, 10); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := HBar(&b, "", []string{"a"}, []float64{-5}, 10); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,431 @@
+// Package sddf implements a Self-Describing Data Format in the spirit
+// of Pablo's SDDF: streams carry their own record-type descriptors
+// (name, tag, typed fields), so consumers can parse record kinds they
+// have never seen. The reproduction's I/O event traces are one record
+// type among others (e.g., utilization samples); offline tools iterate
+// records generically and dispatch on descriptor names.
+//
+// Text layout, line-oriented:
+//
+//	#SDDF-G v1
+//	D 1 io-event node:i file:s offset:i size:i start:i dur:i mode:s
+//	R 1 0 "escat/input.0" 0 622 1200 450000 "M_UNIX"
+//
+// Descriptors must precede their records; a stream may interleave
+// multiple record types.
+package sddf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// FieldType is the type of one descriptor field.
+type FieldType int
+
+const (
+	// Int fields hold int64 values.
+	Int FieldType = iota
+	// Double fields hold float64 values.
+	Double
+	// String fields hold free text (quoted on the wire).
+	String
+)
+
+// String returns the single-letter wire code.
+func (t FieldType) String() string {
+	switch t {
+	case Int:
+		return "i"
+	case Double:
+		return "d"
+	case String:
+		return "s"
+	}
+	return "?"
+}
+
+func parseFieldType(s string) (FieldType, error) {
+	switch s {
+	case "i":
+		return Int, nil
+	case "d":
+		return Double, nil
+	case "s":
+		return String, nil
+	}
+	return 0, fmt.Errorf("sddf: unknown field type %q", s)
+}
+
+// Field is one named, typed slot of a record type.
+type Field struct {
+	Name string
+	Type FieldType
+}
+
+// Descriptor defines a record type: a numeric tag (unique within a
+// stream), a name, and ordered fields.
+type Descriptor struct {
+	Tag    int
+	Name   string
+	Fields []Field
+}
+
+// Validate reports whether the descriptor is well-formed.
+func (d *Descriptor) Validate() error {
+	if d.Tag < 0 {
+		return fmt.Errorf("sddf: negative tag %d", d.Tag)
+	}
+	if d.Name == "" || strings.ContainsAny(d.Name, " \t\n\"") {
+		return fmt.Errorf("sddf: invalid descriptor name %q", d.Name)
+	}
+	if len(d.Fields) == 0 {
+		return fmt.Errorf("sddf: descriptor %q has no fields", d.Name)
+	}
+	seen := map[string]bool{}
+	for _, f := range d.Fields {
+		if f.Name == "" || strings.ContainsAny(f.Name, " \t\n:\"") {
+			return fmt.Errorf("sddf: invalid field name %q", f.Name)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("sddf: duplicate field %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Type != Int && f.Type != Double && f.Type != String {
+			return fmt.Errorf("sddf: field %q has invalid type", f.Name)
+		}
+	}
+	return nil
+}
+
+// index returns the position of the named field, or -1.
+func (d *Descriptor) index(name string) int {
+	for i, f := range d.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Record is one instance of a record type: values parallel to the
+// descriptor's fields (int64, float64 or string).
+type Record struct {
+	Desc   *Descriptor
+	Values []any
+}
+
+// NewRecord builds a record after checking arity and types.
+func NewRecord(d *Descriptor, values ...any) (Record, error) {
+	if len(values) != len(d.Fields) {
+		return Record{}, fmt.Errorf("sddf: %q expects %d values, got %d",
+			d.Name, len(d.Fields), len(values))
+	}
+	for i, v := range values {
+		switch d.Fields[i].Type {
+		case Int:
+			if _, ok := v.(int64); !ok {
+				return Record{}, fmt.Errorf("sddf: field %q wants int64, got %T",
+					d.Fields[i].Name, v)
+			}
+		case Double:
+			if _, ok := v.(float64); !ok {
+				return Record{}, fmt.Errorf("sddf: field %q wants float64, got %T",
+					d.Fields[i].Name, v)
+			}
+		case String:
+			if _, ok := v.(string); !ok {
+				return Record{}, fmt.Errorf("sddf: field %q wants string, got %T",
+					d.Fields[i].Name, v)
+			}
+		}
+	}
+	return Record{Desc: d, Values: values}, nil
+}
+
+// Int returns the named Int field's value; ok is false if the field is
+// absent or of another type.
+func (r Record) Int(name string) (int64, bool) {
+	i := r.Desc.index(name)
+	if i < 0 {
+		return 0, false
+	}
+	v, ok := r.Values[i].(int64)
+	return v, ok
+}
+
+// Double returns the named Double field's value.
+func (r Record) Double(name string) (float64, bool) {
+	i := r.Desc.index(name)
+	if i < 0 {
+		return 0, false
+	}
+	v, ok := r.Values[i].(float64)
+	return v, ok
+}
+
+// Str returns the named String field's value.
+func (r Record) Str(name string) (string, bool) {
+	i := r.Desc.index(name)
+	if i < 0 {
+		return "", false
+	}
+	v, ok := r.Values[i].(string)
+	return v, ok
+}
+
+const magic = "#SDDF-G v1"
+
+// Writer emits a self-describing stream. Descriptors are written on
+// first use.
+type Writer struct {
+	bw      *bufio.Writer
+	defined map[int]*Descriptor
+	started bool
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w), defined: make(map[int]*Descriptor)}
+}
+
+func (w *Writer) start() error {
+	if w.started {
+		return nil
+	}
+	w.started = true
+	_, err := fmt.Fprintln(w.bw, magic)
+	return err
+}
+
+// Define registers and emits a descriptor. Redefining a tag with a
+// different descriptor is an error; redefining the identical descriptor
+// is a no-op.
+func (w *Writer) Define(d *Descriptor) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if err := w.start(); err != nil {
+		return err
+	}
+	if prev, ok := w.defined[d.Tag]; ok {
+		if prev != d {
+			return fmt.Errorf("sddf: tag %d already defined as %q", d.Tag, prev.Name)
+		}
+		return nil
+	}
+	w.defined[d.Tag] = d
+	var b strings.Builder
+	fmt.Fprintf(&b, "D %d %s", d.Tag, d.Name)
+	for _, f := range d.Fields {
+		fmt.Fprintf(&b, " %s:%s", f.Name, f.Type)
+	}
+	_, err := fmt.Fprintln(w.bw, b.String())
+	return err
+}
+
+// Write emits one record, defining its descriptor if needed.
+func (w *Writer) Write(r Record) error {
+	if r.Desc == nil {
+		return fmt.Errorf("sddf: record without descriptor")
+	}
+	if err := w.Define(r.Desc); err != nil {
+		return err
+	}
+	if len(r.Values) != len(r.Desc.Fields) {
+		return fmt.Errorf("sddf: record arity %d != descriptor %q arity %d",
+			len(r.Values), r.Desc.Name, len(r.Desc.Fields))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "R %d", r.Desc.Tag)
+	for i, v := range r.Values {
+		switch r.Desc.Fields[i].Type {
+		case Int:
+			iv, ok := v.(int64)
+			if !ok {
+				return fmt.Errorf("sddf: field %q wants int64, got %T", r.Desc.Fields[i].Name, v)
+			}
+			fmt.Fprintf(&b, " %d", iv)
+		case Double:
+			dv, ok := v.(float64)
+			if !ok {
+				return fmt.Errorf("sddf: field %q wants float64, got %T", r.Desc.Fields[i].Name, v)
+			}
+			fmt.Fprintf(&b, " %s", strconv.FormatFloat(dv, 'g', -1, 64))
+		case String:
+			sv, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("sddf: field %q wants string, got %T", r.Desc.Fields[i].Name, v)
+			}
+			fmt.Fprintf(&b, " %s", strconv.Quote(sv))
+		}
+	}
+	_, err := fmt.Fprintln(w.bw, b.String())
+	return err
+}
+
+// Flush drains buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader consumes a self-describing stream.
+type Reader struct {
+	sc      *bufio.Scanner
+	descs   map[int]*Descriptor
+	line    int
+	started bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	return &Reader{sc: sc, descs: make(map[int]*Descriptor)}
+}
+
+// Descriptors returns the record types seen so far, keyed by tag.
+func (r *Reader) Descriptors() map[int]*Descriptor {
+	out := make(map[int]*Descriptor, len(r.descs))
+	for k, v := range r.descs {
+		out[k] = v
+	}
+	return out
+}
+
+// Next returns the next record, io.EOF at end of stream, or a parse
+// error. Descriptor lines are consumed transparently.
+func (r *Reader) Next() (Record, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" {
+			continue
+		}
+		if !r.started {
+			if line != magic {
+				return Record{}, fmt.Errorf("sddf: line %d: bad magic %q", r.line, line)
+			}
+			r.started = true
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "D "):
+			if err := r.parseDescriptor(line[2:]); err != nil {
+				return Record{}, fmt.Errorf("sddf: line %d: %w", r.line, err)
+			}
+		case strings.HasPrefix(line, "R "):
+			rec, err := r.parseRecord(line[2:])
+			if err != nil {
+				return Record{}, fmt.Errorf("sddf: line %d: %w", r.line, err)
+			}
+			return rec, nil
+		default:
+			return Record{}, fmt.Errorf("sddf: line %d: unknown line %q", r.line, line)
+		}
+	}
+	if err := r.sc.Err(); err != nil {
+		return Record{}, err
+	}
+	if !r.started {
+		return Record{}, fmt.Errorf("sddf: empty stream")
+	}
+	return Record{}, io.EOF
+}
+
+func (r *Reader) parseDescriptor(s string) error {
+	parts := strings.Fields(s)
+	if len(parts) < 3 {
+		return fmt.Errorf("short descriptor %q", s)
+	}
+	tag, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("bad tag %q", parts[0])
+	}
+	d := &Descriptor{Tag: tag, Name: parts[1]}
+	for _, fs := range parts[2:] {
+		name, ty, ok := strings.Cut(fs, ":")
+		if !ok {
+			return fmt.Errorf("bad field spec %q", fs)
+		}
+		ft, err := parseFieldType(ty)
+		if err != nil {
+			return err
+		}
+		d.Fields = append(d.Fields, Field{Name: name, Type: ft})
+	}
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if prev, ok := r.descs[tag]; ok && prev.Name != d.Name {
+		return fmt.Errorf("tag %d redefined from %q to %q", tag, prev.Name, d.Name)
+	}
+	r.descs[tag] = d
+	return nil
+}
+
+func (r *Reader) parseRecord(s string) (Record, error) {
+	tagStr, rest, _ := strings.Cut(s, " ")
+	tag, err := strconv.Atoi(tagStr)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad record tag %q", tagStr)
+	}
+	d, ok := r.descs[tag]
+	if !ok {
+		return Record{}, fmt.Errorf("record with undefined tag %d", tag)
+	}
+	values := make([]any, 0, len(d.Fields))
+	for _, f := range d.Fields {
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			return Record{}, fmt.Errorf("record %q truncated at field %q", d.Name, f.Name)
+		}
+		switch f.Type {
+		case String:
+			if rest[0] != '"' {
+				return Record{}, fmt.Errorf("field %q: expected quoted string", f.Name)
+			}
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return Record{}, fmt.Errorf("field %q: unterminated string", f.Name)
+			}
+			sv, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return Record{}, fmt.Errorf("field %q: %v", f.Name, err)
+			}
+			values = append(values, sv)
+			rest = rest[end+1:]
+		default:
+			var tok string
+			tok, rest, _ = strings.Cut(rest, " ")
+			if f.Type == Int {
+				iv, err := strconv.ParseInt(tok, 10, 64)
+				if err != nil {
+					return Record{}, fmt.Errorf("field %q: bad int %q", f.Name, tok)
+				}
+				values = append(values, iv)
+			} else {
+				dv, err := strconv.ParseFloat(tok, 64)
+				if err != nil {
+					return Record{}, fmt.Errorf("field %q: bad double %q", f.Name, tok)
+				}
+				values = append(values, dv)
+			}
+		}
+	}
+	if strings.TrimSpace(rest) != "" {
+		return Record{}, fmt.Errorf("record %q has trailing data %q", d.Name, rest)
+	}
+	return Record{Desc: d, Values: values}, nil
+}

@@ -1,0 +1,211 @@
+package sddf
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func ioEventDesc() *Descriptor {
+	return &Descriptor{
+		Tag: 1, Name: "io-event",
+		Fields: []Field{
+			{"node", Int}, {"file", String}, {"offset", Int},
+			{"size", Int}, {"dur", Double},
+		},
+	}
+}
+
+func utilDesc() *Descriptor {
+	return &Descriptor{
+		Tag: 2, Name: "utilization",
+		Fields: []Field{{"t", Double}, {"ionode", Int}, {"busy", Double}},
+	}
+}
+
+func TestDescriptorValidate(t *testing.T) {
+	bad := []*Descriptor{
+		{Tag: -1, Name: "x", Fields: []Field{{"a", Int}}},
+		{Tag: 1, Name: "", Fields: []Field{{"a", Int}}},
+		{Tag: 1, Name: "has space", Fields: []Field{{"a", Int}}},
+		{Tag: 1, Name: "x"},
+		{Tag: 1, Name: "x", Fields: []Field{{"a:b", Int}}},
+		{Tag: 1, Name: "x", Fields: []Field{{"a", Int}, {"a", Int}}},
+		{Tag: 1, Name: "x", Fields: []Field{{"a", FieldType(9)}}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Fatalf("case %d: invalid descriptor accepted", i)
+		}
+	}
+	if err := ioEventDesc().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripInterleaved(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	ioD, utD := ioEventDesc(), utilDesc()
+	recs := []Record{
+		mustRecord(t, ioD, int64(0), "escat/input.0", int64(0), int64(622), 0.45),
+		mustRecord(t, utD, 1.5, int64(3), 0.92),
+		mustRecord(t, ioD, int64(127), `weird "name"`, int64(131072), int64(131072), 0.003),
+		mustRecord(t, utD, 2.5, int64(3), 0.12),
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	var got []Record
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rec)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("records = %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Desc.Name != recs[i].Desc.Name {
+			t.Fatalf("record %d type %q, want %q", i, got[i].Desc.Name, recs[i].Desc.Name)
+		}
+		for j, v := range recs[i].Values {
+			if got[i].Values[j] != v {
+				t.Fatalf("record %d field %d: %v != %v", i, j, got[i].Values[j], v)
+			}
+		}
+	}
+	// Both descriptors discovered.
+	descs := r.Descriptors()
+	if len(descs) != 2 || descs[1].Name != "io-event" || descs[2].Name != "utilization" {
+		t.Fatalf("descriptors = %v", descs)
+	}
+}
+
+func mustRecord(t *testing.T, d *Descriptor, vals ...any) Record {
+	t.Helper()
+	r, err := NewRecord(d, vals...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFieldAccessors(t *testing.T) {
+	r := mustRecord(t, ioEventDesc(), int64(7), "f", int64(10), int64(20), 0.5)
+	if v, ok := r.Int("node"); !ok || v != 7 {
+		t.Fatalf("Int(node) = %d, %v", v, ok)
+	}
+	if v, ok := r.Str("file"); !ok || v != "f" {
+		t.Fatalf("Str(file) = %q, %v", v, ok)
+	}
+	if v, ok := r.Double("dur"); !ok || v != 0.5 {
+		t.Fatalf("Double(dur) = %g, %v", v, ok)
+	}
+	if _, ok := r.Int("nosuch"); ok {
+		t.Fatal("missing field reported present")
+	}
+	if _, ok := r.Int("file"); ok {
+		t.Fatal("type-mismatched access reported ok")
+	}
+}
+
+func TestNewRecordValidation(t *testing.T) {
+	d := ioEventDesc()
+	if _, err := NewRecord(d, int64(1)); err == nil {
+		t.Fatal("short record accepted")
+	}
+	if _, err := NewRecord(d, "no", "f", int64(0), int64(0), 0.0); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestWriterTagConflict(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Define(ioEventDesc()); err != nil {
+		t.Fatal(err)
+	}
+	other := utilDesc()
+	other.Tag = 1
+	if err := w.Define(other); err == nil {
+		t.Fatal("tag conflict accepted")
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad magic":     "#NOPE\n",
+		"unknown line":  magic + "\nX what\n",
+		"record first":  magic + "\nR 1 2\n",
+		"bad desc":      magic + "\nD x y z\n",
+		"bad field":     magic + "\nD 1 t a-b\n",
+		"short record":  magic + "\nD 1 t a:i b:i\nR 1 5\n",
+		"bad int":       magic + "\nD 1 t a:i\nR 1 x\n",
+		"bad string":    magic + "\nD 1 t a:s\nR 1 unquoted\n",
+		"unterminated":  magic + "\nD 1 t a:s\nR 1 \"oops\n",
+		"trailing data": magic + "\nD 1 t a:i\nR 1 5 6\n",
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) {
+			r := NewReader(strings.NewReader(input))
+			for {
+				_, err := r.Next()
+				if errors.Is(err, io.EOF) {
+					t.Fatal("garbage stream parsed to EOF")
+				}
+				if err != nil {
+					return // expected
+				}
+			}
+		})
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	d := &Descriptor{Tag: 3, Name: "prop",
+		Fields: []Field{{"i", Int}, {"s", String}, {"d", Double}}}
+	f := func(iv int64, sv string, dv float64) bool {
+		if dv != dv { // NaN does not round-trip through %g reliably
+			return true
+		}
+		sv = strings.ReplaceAll(sv, "\n", " ")
+		rec, err := NewRecord(d, iv, sv, dv)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(rec); err != nil || w.Flush() != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		got, err := r.Next()
+		if err != nil {
+			return false
+		}
+		gi, _ := got.Int("i")
+		gs, _ := got.Str("s")
+		gd, _ := got.Double("d")
+		return gi == iv && gs == sv && gd == dv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

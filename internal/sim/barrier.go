@@ -1,0 +1,62 @@
+package sim
+
+import "fmt"
+
+// Barrier synchronizes a fixed group of n processes: each caller of Await
+// blocks until all n have arrived, then all are released at the same
+// virtual instant. The barrier is cyclic and may be reused for successive
+// phases.
+type Barrier struct {
+	k       *Kernel
+	name    string
+	n       int
+	arrived []*Proc
+	epochs  uint64
+	// waitTotal accumulates, across all epochs, the time each process
+	// spent waiting at the barrier (skew cost).
+	waitTotal Time
+	arriveAt  map[*Proc]Time
+}
+
+// NewBarrier creates a barrier for a party of n processes (n >= 1).
+func NewBarrier(k *Kernel, name string, n int) *Barrier {
+	if n < 1 {
+		panic("sim: barrier party must be >= 1")
+	}
+	return &Barrier{k: k, name: name, n: n, arriveAt: make(map[*Proc]Time)}
+}
+
+// Name returns the barrier's name.
+func (b *Barrier) Name() string { return b.name }
+
+// Party returns the number of processes the barrier synchronizes.
+func (b *Barrier) Party() int { return b.n }
+
+// Epochs returns how many times the barrier has completed.
+func (b *Barrier) Epochs() uint64 { return b.epochs }
+
+// WaitTotal returns the accumulated skew time spent blocked at the
+// barrier, summed over all processes and epochs.
+func (b *Barrier) WaitTotal() Time { return b.waitTotal }
+
+// Await blocks p until all n parties have called Await for this epoch.
+func (b *Barrier) Await(p *Proc) {
+	if _, dup := b.arriveAt[p]; dup {
+		panic(fmt.Sprintf("sim: %s awaited barrier %s twice in one epoch", p, b.name))
+	}
+	b.arriveAt[p] = b.k.now
+	if len(b.arrived)+1 < b.n {
+		b.arrived = append(b.arrived, p)
+		p.park("barrier " + b.name)
+		return
+	}
+	// Last arrival: release everyone.
+	b.epochs++
+	for _, q := range b.arrived {
+		b.waitTotal += b.k.now - b.arriveAt[q]
+		delete(b.arriveAt, q)
+		b.k.wake(q)
+	}
+	delete(b.arriveAt, p)
+	b.arrived = b.arrived[:0]
+}

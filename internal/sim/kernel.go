@@ -1,0 +1,239 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// The kernel advances a virtual clock by processing a time-ordered event
+// queue. Simulated activities are written as ordinary Go functions running
+// in "processes" (goroutines under strict kernel handoff: exactly one
+// process executes at a time, so runs are bit-reproducible). Processes
+// block on virtual-time waits and on synchronization primitives (Resource,
+// Barrier, Mailbox); the kernel resumes them when the corresponding event
+// fires.
+//
+// Events scheduled for the same instant are processed in scheduling order
+// (FIFO by sequence number), which — together with the single-runner
+// handoff protocol — makes the simulation fully deterministic regardless
+// of Go's goroutine scheduling.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Time is a virtual timestamp measured from the start of the simulation.
+type Time = time.Duration
+
+// event is a scheduled occurrence: either the resumption of a parked
+// process or an inline callback.
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc  // resume this process, if non-nil
+	fn   func() // otherwise run this callback inline
+}
+
+// Kernel is a discrete-event simulation engine. A Kernel must be driven
+// from a single goroutine; processes it spawns are coordinated internally.
+//
+// The zero value is not usable; call NewKernel.
+type Kernel struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	parked chan struct{} // handoff: signaled when the running process yields
+
+	procSeq   int
+	live      int // processes spawned and not yet finished
+	processed uint64
+
+	// blocked tracks processes parked with no pending wake event
+	// (i.e. waiting on a synchronization primitive), for deadlock
+	// reporting.
+	blocked map[*Proc]string
+
+	// free recycles event structs; large application runs schedule
+	// hundreds of thousands of events, and pooling keeps them off the
+	// garbage collector's plate.
+	free []*event
+}
+
+// NewKernel returns a kernel with the clock at zero and no pending events.
+func NewKernel() *Kernel {
+	return &Kernel{
+		parked:  make(chan struct{}),
+		blocked: make(map[*Proc]string),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// EventsProcessed returns the number of events the kernel has dispatched.
+func (k *Kernel) EventsProcessed() uint64 { return k.processed }
+
+// LiveProcs returns the number of spawned processes that have not finished.
+func (k *Kernel) LiveProcs() int { return k.live }
+
+// schedule enqueues an event at the given absolute time.
+func (k *Kernel) schedule(at Time, p *Proc, fn func()) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, k.now))
+	}
+	k.seq++
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free = k.free[:n-1]
+		*ev = event{}
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.proc, ev.fn = at, k.seq, p, fn
+	heap.Push(&k.queue, ev)
+}
+
+// release returns a dispatched event to the pool.
+func (k *Kernel) release(ev *event) {
+	ev.proc = nil
+	ev.fn = nil
+	if len(k.free) < 4096 {
+		k.free = append(k.free, ev)
+	}
+}
+
+// After schedules fn to run at Now()+d. It may be called from process
+// context or from event callbacks.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	k.schedule(k.now+d, nil, fn)
+}
+
+// Spawn creates a new process executing body and schedules it to start at
+// the current virtual time. It may be called before Run or from within a
+// running process or callback.
+func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
+	k.procSeq++
+	p := &Proc{
+		k:      k,
+		name:   name,
+		id:     k.procSeq,
+		resume: make(chan struct{}),
+	}
+	k.live++
+	k.schedule(k.now, p, nil)
+	go func() {
+		<-p.resume // wait for first dispatch
+		body(p)
+		p.done = true
+		k.live--
+		k.parked <- struct{}{} // final yield back to the kernel
+	}()
+	return p
+}
+
+// SpawnAt is like Spawn but delays the process start by d.
+func (k *Kernel) SpawnAt(d Time, name string, body func(*Proc)) *Proc {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	k.procSeq++
+	p := &Proc{
+		k:      k,
+		name:   name,
+		id:     k.procSeq,
+		resume: make(chan struct{}),
+	}
+	k.live++
+	k.schedule(k.now+d, p, nil)
+	go func() {
+		<-p.resume
+		body(p)
+		p.done = true
+		k.live--
+		k.parked <- struct{}{}
+	}()
+	return p
+}
+
+// DeadlockError reports that the event queue drained while processes were
+// still blocked on synchronization primitives.
+type DeadlockError struct {
+	Now     Time
+	Blocked []string // "proc-name: reason", sorted
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%v: %d process(es) blocked: %v",
+		e.Now, len(e.Blocked), e.Blocked)
+}
+
+// Run processes events until the queue is empty. It returns a
+// *DeadlockError if any spawned process is still blocked when the queue
+// drains, and nil otherwise.
+func (k *Kernel) Run() error {
+	for k.queue.Len() > 0 {
+		ev := heap.Pop(&k.queue).(*event)
+		k.now = ev.at
+		k.processed++
+		proc, fn := ev.proc, ev.fn
+		k.release(ev)
+		if proc != nil {
+			k.dispatch(proc)
+		} else if fn != nil {
+			fn()
+		}
+	}
+	if k.live > 0 {
+		var blocked []string
+		for p, reason := range k.blocked {
+			blocked = append(blocked, p.name+": "+reason)
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{Now: k.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// RunUntil processes events with timestamps <= deadline and then stops,
+// leaving later events queued. It returns the same deadlock diagnosis as
+// Run when the queue drains early.
+func (k *Kernel) RunUntil(deadline Time) error {
+	for k.queue.Len() > 0 && k.queue[0].at <= deadline {
+		ev := heap.Pop(&k.queue).(*event)
+		k.now = ev.at
+		k.processed++
+		proc, fn := ev.proc, ev.fn
+		k.release(ev)
+		if proc != nil {
+			k.dispatch(proc)
+		} else if fn != nil {
+			fn()
+		}
+	}
+	if k.queue.Len() == 0 && k.live > 0 {
+		var blocked []string
+		for p, reason := range k.blocked {
+			blocked = append(blocked, p.name+": "+reason)
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{Now: k.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// dispatch hands control to p and waits for it to yield back.
+func (k *Kernel) dispatch(p *Proc) {
+	delete(k.blocked, p)
+	p.resume <- struct{}{}
+	<-k.parked
+}
+
+// wake schedules p to resume at the current time (used by synchronization
+// primitives releasing a waiter).
+func (k *Kernel) wake(p *Proc) {
+	k.schedule(k.now, p, nil)
+}

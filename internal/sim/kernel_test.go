@@ -1,0 +1,304 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	k := NewKernel()
+	if k.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", k.Now())
+	}
+}
+
+func TestWaitAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.Spawn("w", func(p *Proc) {
+		p.Wait(3 * time.Second)
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 3*time.Second {
+		t.Fatalf("woke at %v, want 3s", at)
+	}
+}
+
+func TestSequentialWaitsAccumulate(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.Spawn("w", func(p *Proc) {
+		p.Wait(time.Second)
+		p.Wait(2 * time.Second)
+		p.Wait(500 * time.Millisecond)
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 3500 * time.Millisecond; at != want {
+		t.Fatalf("final time %v, want %v", at, want)
+	}
+}
+
+func TestWaitUntil(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.Spawn("w", func(p *Proc) {
+		p.WaitUntil(5 * time.Second)
+		p.WaitUntil(2 * time.Second) // in the past: no-op wait
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5*time.Second {
+		t.Fatalf("final time %v, want 5s", at)
+	}
+}
+
+func TestSameInstantEventsFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Spawn("p", func(p *Proc) {
+			p.Wait(time.Second) // all wake at the same instant
+			order = append(order, i)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		k := NewKernel()
+		var log []string
+		k.Spawn("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Wait(2 * time.Second)
+				log = append(log, "a")
+			}
+		})
+		k.Spawn("b", func(p *Proc) {
+			for i := 0; i < 2; i++ {
+				p.Wait(3 * time.Second)
+				log = append(log, "b")
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	first := run()
+	// t=2,3,4,6,6; at t=6 b's wake was scheduled earlier (t=3) than a's
+	// (t=4), so b fires first.
+	want := []string{"a", "b", "a", "b", "a"}
+	if len(first) != len(want) {
+		t.Fatalf("log = %v, want %v", first, want)
+	}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("log = %v, want %v", first, want)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		got := run()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: nondeterministic log %v", trial, got)
+			}
+		}
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	k := NewKernel()
+	var fired Time = -1
+	k.Spawn("p", func(p *Proc) {
+		p.Kernel().After(4*time.Second, func() { fired = k.Now() })
+		p.Wait(10 * time.Second)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 4*time.Second {
+		t.Fatalf("callback at %v, want 4s", fired)
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	k := NewKernel()
+	var childAt Time
+	k.Spawn("parent", func(p *Proc) {
+		p.Wait(time.Second)
+		k.Spawn("child", func(c *Proc) {
+			c.Wait(2 * time.Second)
+			childAt = c.Now()
+		})
+		p.Wait(5 * time.Second)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childAt != 3*time.Second {
+		t.Fatalf("child finished at %v, want 3s", childAt)
+	}
+}
+
+func TestSpawnAt(t *testing.T) {
+	k := NewKernel()
+	var start Time
+	k.SpawnAt(7*time.Second, "late", func(p *Proc) { start = p.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if start != 7*time.Second {
+		t.Fatalf("started at %v, want 7s", start)
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	k := NewKernel()
+	var count int
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Wait(time.Second)
+			count++
+		}
+	})
+	if err := k.RunUntil(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Fatalf("count = %d after RunUntil(4s), want 4", count)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("count = %d after Run, want 10", count)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "lock", 1)
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		// never releases, never waits again — finishes holding the lock
+	})
+	k.Spawn("waiter", func(p *Proc) {
+		p.Wait(time.Second)
+		r.Acquire(p) // blocks forever
+	})
+	err := k.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("Run() err = %v, want DeadlockError", err)
+	}
+	if len(dl.Blocked) != 1 || dl.Blocked[0] != "waiter: acquire lock" {
+		t.Fatalf("Blocked = %v", dl.Blocked)
+	}
+}
+
+func TestLiveProcsAccounting(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 5; i++ {
+		k.Spawn("p", func(p *Proc) { p.Wait(time.Second) })
+	}
+	if k.LiveProcs() != 5 {
+		t.Fatalf("LiveProcs = %d before run, want 5", k.LiveProcs())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d after run, want 0", k.LiveProcs())
+	}
+}
+
+func TestEventsProcessedCounts(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		p.Wait(time.Second)
+		p.Wait(time.Second)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// start event + two wake events
+	if k.EventsProcessed() != 3 {
+		t.Fatalf("EventsProcessed = %d, want 3", k.EventsProcessed())
+	}
+}
+
+func TestNegativeWaitPanics(t *testing.T) {
+	k := NewKernel()
+	panicked := make(chan bool, 1)
+	k.Spawn("p", func(p *Proc) {
+		defer func() {
+			panicked <- recover() != nil
+			// Re-park forever so the kernel isn't left hanging; instead,
+			// end cleanly by letting body return after recover.
+		}()
+		p.Wait(-time.Second)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !<-panicked {
+		t.Fatal("negative Wait did not panic")
+	}
+}
+
+func TestProcIdentity(t *testing.T) {
+	k := NewKernel()
+	p1 := k.Spawn("alpha", func(p *Proc) {})
+	p2 := k.Spawn("beta", func(p *Proc) {})
+	if p1.Name() != "alpha" || p2.Name() != "beta" {
+		t.Fatalf("names: %q %q", p1.Name(), p2.Name())
+	}
+	if p1.ID() == p2.ID() {
+		t.Fatal("IDs not unique")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyProcessesStress(t *testing.T) {
+	k := NewKernel()
+	const n = 500
+	var finished int
+	for i := 0; i < n; i++ {
+		i := i
+		k.Spawn("p", func(p *Proc) {
+			for j := 0; j < 10; j++ {
+				p.Wait(Time(i+1) * time.Millisecond)
+			}
+			finished++
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finished != n {
+		t.Fatalf("finished = %d, want %d", finished, n)
+	}
+	if k.Now() != 10*Time(n)*time.Millisecond {
+		t.Fatalf("final time %v, want %v", k.Now(), 10*Time(n)*time.Millisecond)
+	}
+}

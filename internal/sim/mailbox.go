@@ -1,0 +1,81 @@
+package sim
+
+// Mailbox is an unbounded FIFO message queue between processes. Send never
+// blocks; Recv blocks until a message is available. Messages are delivered
+// in send order, and blocked receivers are served in arrival order.
+//
+// Mailboxes model point-to-point message delivery; transit latency is the
+// sender's concern (wait, then Send, or use Kernel.After).
+type Mailbox struct {
+	k        *Kernel
+	name     string
+	queue    []any
+	waiters  []*Proc
+	pending  map[*Proc]any
+	sent     uint64
+	received uint64
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox(k *Kernel, name string) *Mailbox {
+	return &Mailbox{k: k, name: name, pending: make(map[*Proc]any)}
+}
+
+// Name returns the mailbox's name.
+func (m *Mailbox) Name() string { return m.name }
+
+// Len returns the number of queued (sent but not yet received) messages.
+func (m *Mailbox) Len() int { return len(m.queue) }
+
+// Sent returns the total number of messages sent.
+func (m *Mailbox) Sent() uint64 { return m.sent }
+
+// Received returns the total number of messages received.
+func (m *Mailbox) Received() uint64 { return m.received }
+
+// Send enqueues v, waking the longest-blocked receiver if any. It may be
+// called from process context or from event callbacks.
+func (m *Mailbox) Send(v any) {
+	m.sent++
+	if len(m.waiters) > 0 {
+		p := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.pending[p] = v
+		m.k.wake(p)
+		return
+	}
+	m.queue = append(m.queue, v)
+}
+
+// SendAfter enqueues v after d of virtual time, modeling transit latency
+// without blocking the caller.
+func (m *Mailbox) SendAfter(d Time, v any) {
+	m.k.After(d, func() { m.Send(v) })
+}
+
+// Recv blocks p until a message is available and returns it.
+func (m *Mailbox) Recv(p *Proc) any {
+	if len(m.queue) > 0 {
+		v := m.queue[0]
+		m.queue = m.queue[1:]
+		m.received++
+		return v
+	}
+	m.waiters = append(m.waiters, p)
+	p.park("recv " + m.name)
+	v := m.pending[p]
+	delete(m.pending, p)
+	m.received++
+	return v
+}
+
+// TryRecv returns (message, true) if one is queued, without blocking.
+func (m *Mailbox) TryRecv() (any, bool) {
+	if len(m.queue) == 0 {
+		return nil, false
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	m.received++
+	return v, true
+}

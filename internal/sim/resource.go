@@ -1,0 +1,131 @@
+package sim
+
+import "fmt"
+
+// Resource is a FIFO server with fixed capacity: up to Capacity processes
+// hold it simultaneously; further acquirers queue in arrival order. It
+// models contended servers such as a disk, a metadata service, or a file
+// token.
+//
+// Resource collects utilization and queueing statistics for analysis.
+type Resource struct {
+	k        *Kernel
+	name     string
+	capacity int
+	busy     int
+	waiters  []*Proc
+
+	// statistics
+	acquisitions uint64
+	totalQueue   Time // summed time spent waiting to acquire
+	totalHold    Time // summed time between acquire and release
+	maxQueueLen  int
+	enqueueAt    map[*Proc]Time
+	holdSince    map[*Proc]Time
+}
+
+// NewResource creates a resource with the given capacity (number of
+// concurrent holders). Capacity must be >= 1.
+func NewResource(k *Kernel, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{
+		k:         k,
+		name:      name,
+		capacity:  capacity,
+		enqueueAt: make(map[*Proc]Time),
+		holdSince: make(map[*Proc]Time),
+	}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// InUse returns the number of current holders.
+func (r *Resource) InUse() int { return r.busy }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire blocks p until a slot is free, FIFO with respect to other
+// acquirers.
+func (r *Resource) Acquire(p *Proc) {
+	r.enqueueAt[p] = r.k.now
+	if r.busy < r.capacity && len(r.waiters) == 0 {
+		r.grant(p)
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	if len(r.waiters) > r.maxQueueLen {
+		r.maxQueueLen = len(r.waiters)
+	}
+	p.park("acquire " + r.name)
+	// When we are resumed, release() has already granted us the slot.
+}
+
+// TryAcquire acquires the resource if a slot is immediately free and
+// returns whether it did. It never blocks.
+func (r *Resource) TryAcquire(p *Proc) bool {
+	if r.busy < r.capacity && len(r.waiters) == 0 {
+		r.enqueueAt[p] = r.k.now
+		r.grant(p)
+		return true
+	}
+	return false
+}
+
+// grant marks p as a holder and records statistics.
+func (r *Resource) grant(p *Proc) {
+	r.busy++
+	r.acquisitions++
+	r.totalQueue += r.k.now - r.enqueueAt[p]
+	delete(r.enqueueAt, p)
+	r.holdSince[p] = r.k.now
+}
+
+// Release frees the slot held by p, waking the longest-waiting acquirer,
+// if any. Releasing a resource p does not hold panics.
+func (r *Resource) Release(p *Proc) {
+	since, ok := r.holdSince[p]
+	if !ok {
+		panic(fmt.Sprintf("sim: %s releasing %s it does not hold", p, r.name))
+	}
+	r.totalHold += r.k.now - since
+	delete(r.holdSince, p)
+	r.busy--
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.grant(next)
+		r.k.wake(next)
+	}
+}
+
+// Use acquires the resource, holds it for d of virtual time, and releases
+// it. It is the common "request service" idiom.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Wait(d)
+	r.Release(p)
+}
+
+// ResourceStats is a snapshot of a resource's accumulated statistics.
+type ResourceStats struct {
+	Name         string
+	Acquisitions uint64
+	TotalQueue   Time // total time spent by all processes waiting
+	TotalHold    Time // total time slots were held
+	MaxQueueLen  int
+}
+
+// Stats returns a snapshot of accumulated statistics.
+func (r *Resource) Stats() ResourceStats {
+	return ResourceStats{
+		Name:         r.name,
+		Acquisitions: r.acquisitions,
+		TotalQueue:   r.totalQueue,
+		TotalHold:    r.totalHold,
+		MaxQueueLen:  r.maxQueueLen,
+	}
+}
