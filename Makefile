@@ -1,7 +1,7 @@
 # paragonio — reproduction of Smirni et al., HPDC 1996.
 GO ?= go
 
-.PHONY: all build test test-short vet fmt bench tables experiments clean
+.PHONY: all build test test-short vet vet-race fmt bench bench-smoke tables experiments clean
 
 all: build test
 
@@ -17,12 +17,23 @@ test-short:
 vet:
 	$(GO) vet ./...
 
+# Race-check the concurrent pieces: the parallel suite runner and the
+# kernel primitives it drives.
+vet-race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/experiments/ ./internal/sim/
+
 fmt:
 	gofmt -l .
 
 # One regeneration of every paper artifact benchmark and ablation.
 bench:
 	$(GO) test -run NONE -bench=. -benchmem -benchtime=1x .
+
+# Single-iteration pass over every benchmark — a fast compile-and-run
+# sanity check that the benchmark harness itself still works.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Regenerate the paper's tables and figures to stdout (and artifacts/).
 tables:

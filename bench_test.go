@@ -13,6 +13,7 @@ package paragonio_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -331,10 +332,157 @@ func BenchmarkKernelEventDispatch(b *testing.B) {
 			p.Wait(time.Microsecond)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := k.Run(); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkKernelTimedWaitChurn measures pure timer churn through the
+// 4-ary event heap: 64 interleaved callback chains with staggered
+// periods, so pushes and pops constantly reorder the heap with no
+// goroutine handoffs at all.
+func BenchmarkKernelTimedWaitChurn(b *testing.B) {
+	k := sim.NewKernel()
+	const chains = 64
+	per := b.N/chains + 1
+	for c := 0; c < chains; c++ {
+		period := time.Duration(c+1) * time.Microsecond
+		left := per
+		var hop func()
+		hop = func() {
+			left--
+			if left > 0 {
+				k.After(period, hop)
+			}
+		}
+		k.After(period, hop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkKernelResourceContention hammers one capacity-1 server with 32
+// clients, comparing the process-shaped path (Use: two goroutine handoffs
+// per grant) against the callback fast path (UseFn: zero).
+func BenchmarkKernelResourceContention(b *testing.B) {
+	const clients = 32
+	b.Run("proc", func(b *testing.B) {
+		k := sim.NewKernel()
+		r := sim.NewResource(k, "srv", 1)
+		per := b.N/clients + 1
+		for c := 0; c < clients; c++ {
+			k.Spawn("client", func(p *sim.Proc) {
+				for i := 0; i < per; i++ {
+					r.Use(p, time.Microsecond)
+				}
+			})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("callback", func(b *testing.B) {
+		k := sim.NewKernel()
+		r := sim.NewResource(k, "srv", 1)
+		per := b.N/clients + 1
+		for c := 0; c < clients; c++ {
+			left := per
+			var use func()
+			use = func() {
+				left--
+				if left > 0 {
+					r.UseFn(func() sim.Time { return time.Microsecond }, use)
+				} else {
+					r.UseFn(func() sim.Time { return time.Microsecond }, nil)
+				}
+			}
+			k.After(0, use)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkKernelMailboxPingPong bounces one message between two parties,
+// process-shaped (Recv parks a goroutine each round trip) vs
+// callback-shaped (RecvFn re-arms a delivery callback).
+func BenchmarkKernelMailboxPingPong(b *testing.B) {
+	b.Run("proc", func(b *testing.B) {
+		k := sim.NewKernel()
+		ping := sim.NewMailbox(k, "ping")
+		pong := sim.NewMailbox(k, "pong")
+		k.Spawn("a", func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				ping.Send(i)
+				pong.Recv(p)
+			}
+		})
+		k.Spawn("b", func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				pong.Send(ping.Recv(p))
+			}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("callback", func(b *testing.B) {
+		k := sim.NewKernel()
+		ping := sim.NewMailbox(k, "ping")
+		pong := sim.NewMailbox(k, "pong")
+		left := b.N
+		var onPing, onPong func(v any)
+		onPing = func(v any) {
+			pong.Send(v)
+			ping.RecvFn(onPing)
+		}
+		onPong = func(v any) {
+			left--
+			if left > 0 {
+				ping.Send(left)
+				pong.RecvFn(onPong)
+			}
+		}
+		ping.RecvFn(onPing)
+		pong.RecvFn(onPong)
+		k.After(0, func() { ping.Send(left) })
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkSuiteParallel regenerates the entire artifact suite through
+// the worker-pool runner, serial vs all cores — the wall-clock win the
+// iotables -j flag buys. Use -benchtime=1x: one iteration re-simulates
+// every paper workload.
+func BenchmarkSuiteParallel(b *testing.B) {
+	runAll := func(b *testing.B, workers int) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RunAll(experiments.NewSuite(1), nil, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("workers=1", func(b *testing.B) { runAll(b, 1) })
+	b.Run(fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		runAll(b, runtime.GOMAXPROCS(0))
+	})
 }
 
 func BenchmarkPFSSmallRead(b *testing.B) {

@@ -7,6 +7,7 @@
 //	iotables                  # all of tables 1-5 and figures 1-9
 //	iotables -only table2,figure5
 //	iotables -seed 7 -summary
+//	iotables -j 8             # regenerate with 8 parallel workers
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"paragonio/internal/experiments"
@@ -25,17 +27,20 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload random seed")
 		summary = flag.Bool("summary", false, "print only the per-experiment metric comparisons")
 		outDir  = flag.String("out", "", "also write each artifact to <dir>/<id>.txt")
+		jobs    = flag.Int("j", runtime.GOMAXPROCS(0),
+			"experiments regenerated in parallel (sims are deterministic; output is identical for any -j)")
 	)
 	flag.Parse()
-	if err := run(*only, *seed, *summary, *outDir); err != nil {
+	if err := run(*only, *seed, *summary, *outDir, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "iotables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(only string, seed int64, summary bool, outDir string) error {
-	wanted := map[string]bool{}
+func run(only string, seed int64, summary bool, outDir string, jobs int) error {
+	exps := experiments.All()
 	if only != "" {
+		wanted := map[string]bool{}
 		for _, id := range strings.Split(only, ",") {
 			id = strings.TrimSpace(id)
 			if _, ok := experiments.ByID(id); !ok {
@@ -43,6 +48,13 @@ func run(only string, seed int64, summary bool, outDir string) error {
 			}
 			wanted[id] = true
 		}
+		kept := exps[:0]
+		for _, e := range exps {
+			if wanted[e.ID] {
+				kept = append(kept, e)
+			}
+		}
+		exps = kept
 	}
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
@@ -50,15 +62,12 @@ func run(only string, seed int64, summary bool, outDir string) error {
 		}
 	}
 	suite := experiments.NewSuite(seed)
-	for _, e := range experiments.All() {
-		if len(wanted) > 0 && !wanted[e.ID] {
-			continue
-		}
-		art, err := e.Run(suite)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-		fmt.Printf("################ %s — %s ################\n\n", e.ID, e.Title)
+	arts, err := experiments.RunAll(suite, exps, jobs)
+	if err != nil {
+		return err
+	}
+	for i, art := range arts {
+		fmt.Printf("################ %s — %s ################\n\n", art.ID, exps[i].Title)
 		if summary {
 			for _, k := range art.MetricKeys() {
 				fmt.Printf("  %-32s paper %10.2f   measured %10.2f\n",

@@ -7,7 +7,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"paragonio/internal/apps/escat"
 	"paragonio/internal/apps/prism"
@@ -18,30 +20,49 @@ import (
 // ESCAT ethylene traces feed Tables 1-3 and Figures 1-5; the PRISM
 // traces feed Table 4-5 and Figures 6-9). Runs are deterministic in the
 // seed.
+//
+// A Suite is safe for concurrent use: each distinct run executes exactly
+// once (concurrent requesters of the same run wait for the first), and
+// distinct runs proceed in parallel — each builds its own single-threaded
+// simulation kernel, so results are identical to serial execution.
 type Suite struct {
 	Seed int64
 
-	eth   map[string]*core.Result
-	prism map[string]*core.Result
-	prog  []*core.Result
-	co    *core.Result
+	mu   sync.Mutex
+	runs map[string]*runSlot
+}
+
+// runSlot is the singleflight cell for one cached application run.
+type runSlot struct {
+	once sync.Once
+	res  *core.Result
+	err  error
 }
 
 // NewSuite creates an empty suite; runs happen lazily.
 func NewSuite(seed int64) *Suite {
-	return &Suite{
-		Seed:  seed,
-		eth:   make(map[string]*core.Result),
-		prism: make(map[string]*core.Result),
+	return &Suite{Seed: seed, runs: make(map[string]*runSlot)}
+}
+
+// run returns the cached result for key, executing f on first use.
+func (s *Suite) run(key string, f func() (*core.Result, error)) (*core.Result, error) {
+	s.mu.Lock()
+	if s.runs == nil {
+		s.runs = make(map[string]*runSlot)
 	}
+	slot, ok := s.runs[key]
+	if !ok {
+		slot = &runSlot{}
+		s.runs[key] = slot
+	}
+	s.mu.Unlock()
+	slot.once.Do(func() { slot.res, slot.err = f() })
+	return slot.res, slot.err
 }
 
 // Ethylene returns the cached ESCAT ethylene run for a paper version
 // ("A", "B", "C"), executing it on first use.
 func (s *Suite) Ethylene(id string) (*core.Result, error) {
-	if r, ok := s.eth[id]; ok {
-		return r, nil
-	}
 	var v escat.Version
 	switch id {
 	case "A":
@@ -53,58 +74,52 @@ func (s *Suite) Ethylene(id string) (*core.Result, error) {
 	default:
 		return nil, fmt.Errorf("experiments: unknown ESCAT version %q", id)
 	}
-	r, err := escat.Run(escat.Ethylene(), v, s.Seed)
-	if err != nil {
-		return nil, err
-	}
-	s.eth[id] = r
-	return r, nil
+	return s.run("eth/"+id, func() (*core.Result, error) {
+		return escat.Run(escat.Ethylene(), v, s.Seed)
+	})
 }
 
-// Progressions returns the six ESCAT builds of Figure 1, in order.
+// Progressions returns the six ESCAT builds of Figure 1, in order. The
+// builds identical to paper versions share the Ethylene cache entries;
+// uncached builds run concurrently.
 func (s *Suite) Progressions() ([]*core.Result, error) {
-	if s.prog != nil {
-		return s.prog, nil
-	}
 	versions := escat.Progressions()
-	out := make([]*core.Result, 0, len(versions))
-	for _, v := range versions {
-		// Reuse the paper-version runs where the build is identical.
-		if r, ok := s.eth[v.ID]; ok {
-			out = append(out, r)
-			continue
+	out := make([]*core.Result, len(versions))
+	errs := make([]error, len(versions))
+	var wg sync.WaitGroup
+	for i, v := range versions {
+		i, v := i, v
+		key := "prog/" + v.ID
+		switch v.ID {
+		case "A", "B", "C": // identical builds to the paper versions
+			key = "eth/" + v.ID
 		}
-		r, err := escat.Run(escat.Ethylene(), v, s.Seed)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i], errs[i] = s.run(key, func() (*core.Result, error) {
+				return escat.Run(escat.Ethylene(), v, s.Seed)
+			})
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		if v.ID == "A" || v.ID == "B" || v.ID == "C" {
-			s.eth[v.ID] = r
-		}
-		out = append(out, r)
 	}
-	s.prog = out
 	return out, nil
 }
 
 // CarbonMonoxide returns the cached ESCAT carbon-monoxide version C run.
 func (s *Suite) CarbonMonoxide() (*core.Result, error) {
-	if s.co != nil {
-		return s.co, nil
-	}
-	r, err := escat.Run(escat.CarbonMonoxide(), escat.VersionCCarbonMonoxide(), s.Seed)
-	if err != nil {
-		return nil, err
-	}
-	s.co = r
-	return r, nil
+	return s.run("co/C", func() (*core.Result, error) {
+		return escat.Run(escat.CarbonMonoxide(), escat.VersionCCarbonMonoxide(), s.Seed)
+	})
 }
 
 // Prism returns the cached PRISM run for a version ("A", "B", "C").
 func (s *Suite) Prism(id string) (*core.Result, error) {
-	if r, ok := s.prism[id]; ok {
-		return r, nil
-	}
 	var v prism.Version
 	switch id {
 	case "A":
@@ -116,12 +131,9 @@ func (s *Suite) Prism(id string) (*core.Result, error) {
 	default:
 		return nil, fmt.Errorf("experiments: unknown PRISM version %q", id)
 	}
-	r, err := prism.Run(prism.TestProblem(), v, s.Seed)
-	if err != nil {
-		return nil, err
-	}
-	s.prism[id] = r
-	return r, nil
+	return s.run("prism/"+id, func() (*core.Result, error) {
+		return prism.Run(prism.TestProblem(), v, s.Seed)
+	})
 }
 
 // Artifact is one regenerated table or figure with its paper-vs-measured
@@ -184,4 +196,46 @@ func ByID(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
+}
+
+// RunAll executes exps (nil means All()) against the suite with up to
+// workers experiments in flight at once, returning the artifacts in exps
+// order. workers <= 0 means GOMAXPROCS. Artifacts depend only on their
+// (deterministic, cached) application runs, so the output is identical
+// to running each experiment serially; on error, the first failure in
+// exps order is reported.
+func RunAll(s *Suite, exps []Experiment, workers int) ([]*Artifact, error) {
+	if exps == nil {
+		exps = All()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	arts := make([]*Artifact, len(exps))
+	errs := make([]error, len(exps))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				arts[i], errs[i] = exps[i].Run(s)
+			}
+		}()
+	}
+	for i := range exps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", exps[i].ID, err)
+		}
+	}
+	return arts, nil
 }

@@ -3,6 +3,8 @@ package iobench
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"paragonio/internal/pfs"
 	"paragonio/internal/report"
@@ -19,50 +21,79 @@ func ModesFor(k Kernel) []pfs.Mode {
 	}
 }
 
-// SweepModes runs one kernel across all applicable access modes.
-func SweepModes(base Params) ([]*Result, error) {
-	var out []*Result
-	for _, mode := range ModesFor(base.Kernel) {
-		p := base
-		p.Mode = mode
-		r, err := Run(p)
+// runSweep executes one Run per parameter set with a GOMAXPROCS-sized
+// worker pool — each run builds its own single-threaded simulation, so
+// sweep points are embarrassingly parallel — and returns results in
+// input order. Results are deterministic in the parameters regardless of
+// worker count; on error, the first failing sweep point (in input order)
+// is reported via wrap.
+func runSweep(params []Params, wrap func(i int, err error) error) ([]*Result, error) {
+	out := make([]*Result, len(params))
+	errs := make([]error, len(params))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(params) {
+		workers = len(params)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = Run(params[i])
+			}
+		}()
+	}
+	for i := range params {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", base.Kernel, mode, err)
+			return nil, wrap(i, err)
 		}
-		out = append(out, r)
 	}
 	return out, nil
 }
 
+// SweepModes runs one kernel across all applicable access modes.
+func SweepModes(base Params) ([]*Result, error) {
+	modes := ModesFor(base.Kernel)
+	params := make([]Params, len(modes))
+	for i, mode := range modes {
+		params[i] = base
+		params[i].Mode = mode
+	}
+	return runSweep(params, func(i int, err error) error {
+		return fmt.Errorf("%s/%s: %w", base.Kernel, modes[i], err)
+	})
+}
+
 // SweepRequestSizes runs one kernel/mode across request sizes.
 func SweepRequestSizes(base Params, sizes []int64) ([]*Result, error) {
-	var out []*Result
-	for _, s := range sizes {
-		p := base
-		p.Request = s
-		r, err := Run(p)
-		if err != nil {
-			return nil, fmt.Errorf("%s req=%d: %w", base.Kernel, s, err)
-		}
-		out = append(out, r)
+	params := make([]Params, len(sizes))
+	for i, s := range sizes {
+		params[i] = base
+		params[i].Request = s
 	}
-	return out, nil
+	return runSweep(params, func(i int, err error) error {
+		return fmt.Errorf("%s req=%d: %w", base.Kernel, sizes[i], err)
+	})
 }
 
 // SweepIONodes runs one kernel/mode across I/O node counts — the
 // machine-configuration study of the paper's future work.
 func SweepIONodes(base Params, counts []int) ([]*Result, error) {
-	var out []*Result
-	for _, c := range counts {
-		p := base
-		p.IONodes = c
-		r, err := Run(p)
-		if err != nil {
-			return nil, fmt.Errorf("%s ionodes=%d: %w", base.Kernel, c, err)
-		}
-		out = append(out, r)
+	params := make([]Params, len(counts))
+	for i, c := range counts {
+		params[i] = base
+		params[i].IONodes = c
 	}
-	return out, nil
+	return runSweep(params, func(i int, err error) error {
+		return fmt.Errorf("%s ionodes=%d: %w", base.Kernel, counts[i], err)
+	})
 }
 
 // WriteTable renders sweep results as an aligned table. label extracts

@@ -1,0 +1,34 @@
+package pablo
+
+import "hash/fnv"
+
+// Digest returns the FNV-1a digest of the full event stream: every field
+// of every event, in capture order. Two runs of a deterministic workload
+// must produce identical digests; the golden-digest regression tests use
+// this as the gate that licenses simulation-kernel optimizations.
+func (t *Trace) Digest() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		buf[4] = byte(v >> 32)
+		buf[5] = byte(v >> 40)
+		buf[6] = byte(v >> 48)
+		buf[7] = byte(v >> 56)
+		h.Write(buf[:])
+	}
+	for _, ev := range t.events {
+		u64(uint64(ev.Node))
+		u64(uint64(ev.Op))
+		h.Write([]byte(ev.File))
+		u64(uint64(ev.Offset))
+		u64(uint64(ev.Size))
+		u64(uint64(ev.Start))
+		u64(uint64(ev.Duration))
+		h.Write([]byte(ev.Mode))
+	}
+	return h.Sum64()
+}

@@ -136,15 +136,16 @@ func TestChunksByIONodeCoverAndAlign(t *testing.T) {
 		{u / 2, 17 * u}, // spans the full I/O node cycle
 	}
 	for _, tc := range cases {
-		groups := r.fs.chunksByIONode(f, tc.off, tc.size)
+		lists, ios := r.fs.chunksByIONode(f, tc.off, tc.size)
 		var total int64
 		next := tc.off
 		// Collect all chunks and verify they tile [off, off+size).
 		all := map[int64]int64{}
-		for io, chunks := range groups {
+		for _, io := range ios {
 			if io < 0 || io >= r.fs.cfg.IONodes {
 				t.Fatalf("chunk on invalid io node %d", io)
 			}
+			chunks := lists[io]
 			for _, c := range chunks {
 				if c.size <= 0 || c.size > u {
 					t.Fatalf("chunk size %d out of range", c.size)
@@ -174,8 +175,8 @@ func TestStripeMappingRoundRobin(t *testing.T) {
 	// 16 consecutive stripes must land on 16 distinct I/O nodes.
 	seen := map[int]bool{}
 	for s := int64(0); s < 16; s++ {
-		groups := r.fs.chunksByIONode(f, s*u, 1)
-		for io := range groups {
+		_, ios := r.fs.chunksByIONode(f, s*u, 1)
+		for _, io := range ios {
 			seen[io] = true
 		}
 	}

@@ -115,10 +115,10 @@ func TestPropertyStripingConservation(t *testing.T) {
 	prop := func(offRaw uint32, sizeRaw uint32) bool {
 		off := int64(offRaw)
 		size := int64(sizeRaw) + 1
-		groups := r.fs.chunksByIONode(f, off, size)
+		lists, _ := r.fs.chunksByIONode(f, off, size)
 		covered := map[int64]int64{}
 		var total int64
-		for _, chunks := range groups {
+		for _, chunks := range lists {
 			for _, c := range chunks {
 				if c.size <= 0 || c.size > u {
 					return false
@@ -156,10 +156,11 @@ func TestPropertyStripeToIONodeStable(t *testing.T) {
 	f := r.fs.lookup("f", false)
 	u := r.fs.cfg.StripeUnit
 	ioOf := func(off int64) int {
-		for io := range r.fs.chunksByIONode(f, off, 1) {
-			return io
+		_, ios := r.fs.chunksByIONode(f, off, 1)
+		if len(ios) == 0 {
+			return -1
 		}
-		return -1
+		return ios[0]
 	}
 	prop := func(offRaw uint32) bool {
 		off := int64(offRaw)

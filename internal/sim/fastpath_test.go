@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The fast-path tests pin the contract that makes serveIONodeFn-style
+// conversions safe: a callback-shaped interaction (UseFn, RecvFn,
+// AwaitFn) must produce the same virtual timing and the same statistics
+// as the process-shaped interaction it replaces.
+
+// TestUseFnMatchesUse runs the same contended-server workload twice —
+// once with processes calling Use, once with callback holders — and
+// requires identical completion times and resource statistics.
+func TestUseFnMatchesUse(t *testing.T) {
+	const n = 5
+	hold := 2 * time.Second
+
+	runProc := func() (Time, ResourceStats) {
+		k := NewKernel()
+		r := NewResource(k, "srv", 1)
+		var last Time
+		for i := 0; i < n; i++ {
+			k.Spawn("u", func(p *Proc) {
+				r.Use(p, hold)
+				last = p.Now()
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return last, r.Stats()
+	}
+
+	runFn := func() (Time, ResourceStats) {
+		k := NewKernel()
+		r := NewResource(k, "srv", 1)
+		var last Time
+		for i := 0; i < n; i++ {
+			k.After(0, func() {
+				r.UseFn(func() Time { return hold }, func() { last = k.Now() })
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return last, r.Stats()
+	}
+
+	procLast, procStats := runProc()
+	fnLast, fnStats := runFn()
+	if procLast != Time(n)*Time(hold) {
+		t.Fatalf("proc run finished at %v, want %v", procLast, Time(n)*Time(hold))
+	}
+	if fnLast != procLast {
+		t.Errorf("UseFn finished at %v, Use at %v", fnLast, procLast)
+	}
+	if fnStats != procStats {
+		t.Errorf("stats differ:\n  UseFn: %+v\n  Use:   %+v", fnStats, procStats)
+	}
+}
+
+// TestUseFnFIFOWithProcs interleaves process and callback acquirers and
+// checks grants happen in arrival order regardless of shape.
+func TestUseFnFIFOWithProcs(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "srv", 1)
+	var order []string
+	// Arrivals at t=0 in order: proc p0, callback c1, proc p2, callback c3.
+	k.Spawn("p0", func(p *Proc) {
+		r.Acquire(p)
+		p.Wait(time.Second)
+		order = append(order, "p0")
+		r.Release(p)
+	})
+	k.After(0, func() {
+		r.UseFn(func() Time { return time.Second }, func() { order = append(order, "c1") })
+	})
+	k.Spawn("p2", func(p *Proc) {
+		r.Use(p, time.Second)
+		order = append(order, "p2")
+	})
+	k.After(0, func() {
+		r.UseFn(func() Time { return time.Second }, func() { order = append(order, "c3") })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"p0", "c1", "p2", "c3"}
+	if len(order) != len(want) {
+		t.Fatalf("completions = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("completions = %v, want %v (FIFO broken across shapes)", order, want)
+		}
+	}
+	if k.Now() != 4*Time(time.Second) {
+		t.Errorf("finished at %v, want 4s", k.Now())
+	}
+}
+
+// TestUseFnPricesHoldAtGrantTime verifies hold() runs when the slot is
+// granted, not when UseFn is called — the property that keeps
+// state-dependent service costs (disk head position) in FIFO order.
+func TestUseFnPricesHoldAtGrantTime(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "srv", 1)
+	var pricedAt []Time
+	k.After(0, func() {
+		r.UseFn(func() Time { pricedAt = append(pricedAt, k.Now()); return 3 * Time(time.Second) }, nil)
+		r.UseFn(func() Time { pricedAt = append(pricedAt, k.Now()); return time.Duration(0) }, nil)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pricedAt) != 2 {
+		t.Fatalf("hold priced %d times, want 2", len(pricedAt))
+	}
+	if pricedAt[0] != 0 || pricedAt[1] != 3*Time(time.Second) {
+		t.Errorf("priced at %v, want [0s 3s]", pricedAt)
+	}
+}
+
+// TestRecvFnMatchesRecv checks callback receivers see the same values,
+// delivery order, and statistics as blocked process receivers.
+func TestRecvFnMatchesRecv(t *testing.T) {
+	run := func(callback bool) ([]int, Time, uint64) {
+		k := NewKernel()
+		m := NewMailbox(k, "mb")
+		var got []int
+		var at Time
+		recv := func() {
+			if callback {
+				m.RecvFn(func(v any) { got = append(got, v.(int)); at = k.Now() })
+			} else {
+				k.Spawn("r", func(p *Proc) {
+					got = append(got, m.Recv(p).(int))
+					at = p.Now()
+				})
+			}
+		}
+		recv()
+		recv()
+		k.After(time.Second, func() { m.Send(1) })
+		k.After(2*time.Second, func() { m.Send(2) })
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return got, at, m.Received()
+	}
+
+	pv, pAt, pRecv := run(false)
+	cv, cAt, cRecv := run(true)
+	if len(pv) != 2 || pv[0] != 1 || pv[1] != 2 {
+		t.Fatalf("proc receivers got %v", pv)
+	}
+	if len(cv) != 2 || cv[0] != pv[0] || cv[1] != pv[1] {
+		t.Errorf("RecvFn got %v, Recv got %v", cv, pv)
+	}
+	if cAt != pAt || cAt != 2*Time(time.Second) {
+		t.Errorf("last delivery at %v (callback) vs %v (proc), want 2s", cAt, pAt)
+	}
+	if cRecv != pRecv {
+		t.Errorf("received count %d (callback) vs %d (proc)", cRecv, pRecv)
+	}
+}
+
+// TestRecvFnDrainsQueuedMessageInline checks an already-queued message is
+// delivered synchronously, matching Recv's no-block path.
+func TestRecvFnDrainsQueuedMessageInline(t *testing.T) {
+	k := NewKernel()
+	m := NewMailbox(k, "mb")
+	delivered := false
+	k.After(0, func() {
+		m.Send("x")
+		m.RecvFn(func(v any) { delivered = v == "x" })
+		if !delivered {
+			t.Error("queued message not delivered inline")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 || m.Received() != 1 {
+		t.Errorf("len=%d received=%d after drain", m.Len(), m.Received())
+	}
+}
+
+// TestAwaitFnMatchesAwait releases a mixed party — processes and
+// callbacks — at the same instant with identical skew accounting.
+func TestAwaitFnMatchesAwait(t *testing.T) {
+	run := func(callback bool) (Time, Time, uint64) {
+		k := NewKernel()
+		b := NewBarrier(k, "bar", 3)
+		var released Time
+		arrive := func(after Time) {
+			if callback {
+				k.After(after, func() { b.AwaitFn(func() { released = k.Now() }) })
+			} else {
+				k.Spawn("w", func(p *Proc) {
+					p.Wait(after)
+					b.Await(p)
+					released = p.Now()
+				})
+			}
+		}
+		arrive(0)
+		arrive(time.Second)
+		arrive(3 * time.Second)
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return released, b.WaitTotal(), b.Epochs()
+	}
+
+	pRel, pSkew, pEp := run(false)
+	cRel, cSkew, cEp := run(true)
+	if pRel != 3*Time(time.Second) || pSkew != 5*Time(time.Second) || pEp != 1 {
+		t.Fatalf("proc barrier: released %v skew %v epochs %d", pRel, pSkew, pEp)
+	}
+	if cRel != pRel || cSkew != pSkew || cEp != pEp {
+		t.Errorf("AwaitFn: released %v skew %v epochs %d; Await: %v %v %d",
+			cRel, cSkew, cEp, pRel, pSkew, pEp)
+	}
+}

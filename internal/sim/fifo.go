@@ -1,0 +1,30 @@
+package sim
+
+// fifo is an allocation-friendly FIFO queue: pop advances a head index
+// instead of reslicing the backing array away, so a queue that cycles
+// through push/pop (the steady state of every synchronization primitive)
+// stops allocating once the array has grown to the high-water mark.
+type fifo[T any] struct {
+	buf  []T
+	head int
+}
+
+// len returns the number of queued elements.
+func (q *fifo[T]) len() int { return len(q.buf) - q.head }
+
+// push appends v to the tail.
+func (q *fifo[T]) push(v T) { q.buf = append(q.buf, v) }
+
+// pop removes and returns the head element. It must not be called on an
+// empty queue.
+func (q *fifo[T]) pop() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // drop references so the GC can collect them
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return v
+}

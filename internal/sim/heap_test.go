@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// popAll drains the heap, returning events in pop order.
+func popAll(h *eventHeap) []event {
+	out := make([]event, 0, h.len())
+	for h.len() > 0 {
+		out = append(out, h.pop())
+	}
+	return out
+}
+
+// TestHeapOrderProperty pushes arbitrary (at, seq) schedules — pairs of
+// uint16 so equal-timestamp collisions are common — and requires pops in
+// exactly the order a stable sort oracle produces.
+func TestHeapOrderProperty(t *testing.T) {
+	prop := func(pairs []struct{ At, Seq uint16 }) bool {
+		var h eventHeap
+		oracle := make([]event, 0, len(pairs))
+		for _, p := range pairs {
+			e := event{at: Time(p.At), seq: uint64(p.Seq)}
+			h.push(e)
+			oracle = append(oracle, e)
+		}
+		sort.Slice(oracle, func(i, j int) bool { return less(&oracle[i], &oracle[j]) })
+		got := popAll(&h)
+		for i := range oracle {
+			if got[i].at != oracle[i].at || got[i].seq != oracle[i].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapInterleavedPushPop mixes pushes and pops the way the kernel
+// does (pop a batch, schedule follow-ups) and checks the pop sequence is
+// globally non-decreasing in (at, seq) at every step.
+func TestHeapInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h eventHeap
+	seq := uint64(0)
+	push := func(at Time) {
+		seq++
+		h.push(event{at: at, seq: seq})
+	}
+	for i := 0; i < 64; i++ {
+		push(Time(rng.Intn(8)))
+	}
+	var prev event
+	popped := 0
+	for h.len() > 0 {
+		e := h.pop()
+		if popped > 0 && less(&e, &prev) {
+			t.Fatalf("pop %d: (%d,%d) after (%d,%d)", popped, e.at, e.seq, prev.at, prev.seq)
+		}
+		prev = e
+		popped++
+		// Model same-instant follow-up scheduling: new events at the
+		// current or a later instant, never in the past.
+		for rng.Intn(4) == 0 && popped < 5000 {
+			push(e.at + Time(rng.Intn(3)))
+		}
+	}
+	if popped < 64 {
+		t.Fatalf("popped %d events, pushed at least 64", popped)
+	}
+}
+
+// TestHeapEqualTimestampBatch is the dispatch-batching edge case: a large
+// block of same-instant events must pop in exact seq order even when
+// interleaved with earlier and later instants.
+func TestHeapEqualTimestampBatch(t *testing.T) {
+	var h eventHeap
+	const batch = 1000
+	// Push the batch shuffled so the heap has to restore seq order itself.
+	perm := rand.New(rand.NewSource(7)).Perm(batch)
+	for _, i := range perm {
+		h.push(event{at: 5, seq: uint64(i)})
+	}
+	h.push(event{at: 9, seq: batch})
+	h.push(event{at: 1, seq: batch + 1})
+
+	if e := h.pop(); e.at != 1 {
+		t.Fatalf("first pop at=%d, want 1", e.at)
+	}
+	for i := 0; i < batch; i++ {
+		e := h.pop()
+		if e.at != 5 || e.seq != uint64(i) {
+			t.Fatalf("batch pop %d: (at=%d seq=%d)", i, e.at, e.seq)
+		}
+	}
+	if e := h.pop(); e.at != 9 {
+		t.Fatalf("last pop at=%d, want 9", e.at)
+	}
+	if h.len() != 0 {
+		t.Fatalf("heap not drained: %d left", h.len())
+	}
+}

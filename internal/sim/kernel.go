@@ -13,10 +13,17 @@
 // (FIFO by sequence number), which — together with the single-runner
 // handoff protocol — makes the simulation fully deterministic regardless
 // of Go's goroutine scheduling.
+//
+// Two dispatch paths exist. Process resumption goes through the goroutine
+// handoff protocol (two channel rendezvous, i.e. four scheduler context
+// switches per event). Callback events run inline in the kernel loop with
+// no goroutine round-trip; the synchronization primitives expose
+// callback-shaped variants (Resource.UseFn, Mailbox.RecvFn,
+// Barrier.AwaitFn) so hot non-process-shaped work can take the fast path.
+// See docs/PERFORMANCE.md for the cost model.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"time"
@@ -24,6 +31,12 @@ import (
 
 // Time is a virtual timestamp measured from the start of the simulation.
 type Time = time.Duration
+
+// maxRetainedEvents caps the event storage (queue backing array and the
+// same-timestamp batch buffer) a kernel keeps after its queue drains, so
+// a kernel that peaked at hundreds of thousands of pending events does
+// not pin that memory for its remaining lifetime.
+const maxRetainedEvents = 4096
 
 // event is a scheduled occurrence: either the resumption of a parked
 // process or an inline callback.
@@ -48,15 +61,13 @@ type Kernel struct {
 	live      int // processes spawned and not yet finished
 	processed uint64
 
+	// batch is scratch for same-timestamp dispatch runs (see runBatch).
+	batch []event
+
 	// blocked tracks processes parked with no pending wake event
 	// (i.e. waiting on a synchronization primitive), for deadlock
 	// reporting.
 	blocked map[*Proc]string
-
-	// free recycles event structs; large application runs schedule
-	// hundreds of thousands of events, and pooling keeps them off the
-	// garbage collector's plate.
-	free []*event
 }
 
 // NewKernel returns a kernel with the clock at zero and no pending events.
@@ -82,25 +93,7 @@ func (k *Kernel) schedule(at Time, p *Proc, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, k.now))
 	}
 	k.seq++
-	var ev *event
-	if n := len(k.free); n > 0 {
-		ev = k.free[n-1]
-		k.free = k.free[:n-1]
-		*ev = event{}
-	} else {
-		ev = &event{}
-	}
-	ev.at, ev.seq, ev.proc, ev.fn = at, k.seq, p, fn
-	heap.Push(&k.queue, ev)
-}
-
-// release returns a dispatched event to the pool.
-func (k *Kernel) release(ev *event) {
-	ev.proc = nil
-	ev.fn = nil
-	if len(k.free) < 4096 {
-		k.free = append(k.free, ev)
-	}
+	k.queue.push(event{at: at, seq: k.seq, proc: p, fn: fn})
 }
 
 // After schedules fn to run at Now()+d. It may be called from process
@@ -171,29 +164,27 @@ func (e *DeadlockError) Error() string {
 		e.Now, len(e.Blocked), e.Blocked)
 }
 
+// deadlockError builds the diagnosis for a drained queue with live
+// processes still blocked.
+func (k *Kernel) deadlockError() *DeadlockError {
+	var blocked []string
+	for p, reason := range k.blocked {
+		blocked = append(blocked, p.name+": "+reason)
+	}
+	sort.Strings(blocked)
+	return &DeadlockError{Now: k.now, Blocked: blocked}
+}
+
 // Run processes events until the queue is empty. It returns a
 // *DeadlockError if any spawned process is still blocked when the queue
 // drains, and nil otherwise.
 func (k *Kernel) Run() error {
-	for k.queue.Len() > 0 {
-		ev := heap.Pop(&k.queue).(*event)
-		k.now = ev.at
-		k.processed++
-		proc, fn := ev.proc, ev.fn
-		k.release(ev)
-		if proc != nil {
-			k.dispatch(proc)
-		} else if fn != nil {
-			fn()
-		}
+	for k.queue.len() > 0 {
+		k.runBatch(k.queue.min().at)
 	}
+	k.trim()
 	if k.live > 0 {
-		var blocked []string
-		for p, reason := range k.blocked {
-			blocked = append(blocked, p.name+": "+reason)
-		}
-		sort.Strings(blocked)
-		return &DeadlockError{Now: k.now, Blocked: blocked}
+		return k.deadlockError()
 	}
 	return nil
 }
@@ -202,27 +193,49 @@ func (k *Kernel) Run() error {
 // leaving later events queued. It returns the same deadlock diagnosis as
 // Run when the queue drains early.
 func (k *Kernel) RunUntil(deadline Time) error {
-	for k.queue.Len() > 0 && k.queue[0].at <= deadline {
-		ev := heap.Pop(&k.queue).(*event)
-		k.now = ev.at
-		k.processed++
-		proc, fn := ev.proc, ev.fn
-		k.release(ev)
-		if proc != nil {
-			k.dispatch(proc)
-		} else if fn != nil {
-			fn()
-		}
+	for k.queue.len() > 0 && k.queue.min().at <= deadline {
+		k.runBatch(k.queue.min().at)
 	}
-	if k.queue.Len() == 0 && k.live > 0 {
-		var blocked []string
-		for p, reason := range k.blocked {
-			blocked = append(blocked, p.name+": "+reason)
-		}
-		sort.Strings(blocked)
-		return &DeadlockError{Now: k.now, Blocked: blocked}
+	if k.queue.len() == 0 && k.live > 0 {
+		return k.deadlockError()
 	}
 	return nil
+}
+
+// runBatch advances the clock to at and dispatches, in sequence order,
+// every event already queued for that instant. Draining the instant in
+// one pass amortizes heap fix-ups: pops happen back to back while the
+// root region is hot, and events the batch itself schedules (which carry
+// higher sequence numbers, including same-instant wakeups) sift against
+// the heap once instead of racing each dispatch. Exact (at, seq) order is
+// preserved: batched events hold the smallest sequence numbers at this
+// instant, and later arrivals are picked up by the next batch.
+func (k *Kernel) runBatch(at Time) {
+	batch := k.batch[:0]
+	for k.queue.len() > 0 && k.queue.min().at == at {
+		batch = append(batch, k.queue.pop())
+	}
+	k.now = at
+	for i := range batch {
+		k.processed++
+		if p := batch[i].proc; p != nil {
+			k.dispatch(p)
+		} else if fn := batch[i].fn; fn != nil {
+			fn()
+		}
+		batch[i] = event{} // drop proc/fn references held by the scratch buffer
+	}
+	k.batch = batch[:0]
+}
+
+// trim releases oversized event storage once a run completes.
+func (k *Kernel) trim() {
+	if cap(k.queue.ev) > maxRetainedEvents {
+		k.queue.ev = nil
+	}
+	if cap(k.batch) > maxRetainedEvents {
+		k.batch = nil
+	}
 }
 
 // dispatch hands control to p and waits for it to yield back.
