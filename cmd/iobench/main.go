@@ -8,6 +8,7 @@
 //	iobench -kernel strided-reload -sweep modes
 //	iobench -kernel staging-write  -sweep request -mode M_ASYNC
 //	iobench -kernel compulsory-read -sweep ionodes -mode M_GLOBAL
+//	iobench -kernel checkpoint     -sweep cache   -mode M_ASYNC
 //	iobench -nodes 64 -volume 67108864 -request 131072
 package main
 
@@ -23,7 +24,7 @@ import (
 func main() {
 	var (
 		kernel  = flag.String("kernel", "", "kernel slug (empty = all)")
-		sweep   = flag.String("sweep", "modes", "sweep dimension: modes, request, ionodes")
+		sweep   = flag.String("sweep", "modes", "sweep dimension: modes, request, ionodes, cache")
 		mode    = flag.String("mode", "M_ASYNC", "access mode for request/ionodes sweeps")
 		nodes   = flag.Int("nodes", 32, "compute nodes")
 		request = flag.Int64("request", 128<<10, "request size (bytes)")
@@ -79,6 +80,9 @@ func run(kernel, sweep, modeName string, nodes int, request, volume, seed int64)
 			label = func(r *iobench.Result) string {
 				return fmt.Sprintf("%d io nodes", r.Params.IONodes)
 			}
+		case "cache":
+			results, err = iobench.SweepCache(base)
+			label = func(r *iobench.Result) string { return r.CacheLabel }
 		default:
 			return fmt.Errorf("unknown sweep %q", sweep)
 		}

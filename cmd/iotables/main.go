@@ -44,7 +44,11 @@ func run(only string, seed int64, summary bool, outDir string, jobs int) error {
 		for _, id := range strings.Split(only, ",") {
 			id = strings.TrimSpace(id)
 			if _, ok := experiments.ByID(id); !ok {
-				return fmt.Errorf("unknown experiment %q", id)
+				valid := make([]string, 0, len(exps))
+				for _, e := range exps {
+					valid = append(valid, e.ID)
+				}
+				return fmt.Errorf("unknown experiment %q (valid: %s)", id, strings.Join(valid, ", "))
 			}
 			wanted[id] = true
 		}

@@ -1,0 +1,131 @@
+// cache_whatif replays the PRISM checkpoint/restart workload (version C)
+// on the paper's cache-less machine and then on the same machine with the
+// what-if I/O-node buffer cache enabled — first write-behind alone, then
+// write-behind plus read-ahead. It prints the execution-time and
+// phase-time deltas beside the cache's own counters, and finishes by
+// emitting the dirty-queue timeline as tag-2 "cache-sample" SDDF records
+// so the second record stream is visible on the wire.
+//
+//	go run ./examples/cache_whatif
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"paragonio/internal/apps/prism"
+	"paragonio/internal/cache"
+	"paragonio/internal/core"
+	"paragonio/internal/pablo"
+	"paragonio/internal/report"
+	"paragonio/internal/sddf"
+)
+
+func main() {
+	variants := []struct {
+		label string
+		cfg   *cache.Config
+	}{
+		{"no cache (paper machine)", nil},
+		{"write-behind", &cache.Config{WriteBehind: true}},
+		{"wb + read-ahead", &cache.Config{WriteBehind: true, ReadAhead: 4}},
+	}
+
+	d := prism.TestProblem()
+	fmt.Printf("PRISM %s, version C, %d nodes: checkpoint writes + restart read\n\n",
+		d.Name, d.Nodes)
+
+	var rows [][]string
+	var cached *core.Result // last cached run, for the SDDF epilogue
+	for _, v := range variants {
+		cfg := core.Config{
+			Nodes: d.Nodes, Seed: 1, Cache: v.cfg,
+			SampleInterval: 100 * time.Second,
+		}
+		res, err := prism.RunOn(cfg, d, prism.VersionC())
+		if err != nil {
+			log.Fatal(err)
+		}
+		chk := fileTime(res.Trace, pablo.OpWrite, prism.CheckpointFile)
+		rst := fileTime(res.Trace, pablo.OpRead, prism.RestartFile)
+		row := []string{
+			v.label,
+			fmt.Sprintf("%.0f", res.Exec.Seconds()),
+			fmt.Sprintf("%.1f", res.IOTime().Seconds()),
+			fmt.Sprintf("%.1f", chk.Seconds()),
+			fmt.Sprintf("%.1f", rst.Seconds()),
+		}
+		if v.cfg != nil {
+			t := res.CacheTotals()
+			row = append(row,
+				fmt.Sprintf("%.1f%%", 100*t.HitRatio()),
+				fmt.Sprintf("%d", t.MaxDirty),
+				fmt.Sprintf("%d", t.ForcedFlushStalls))
+			cached = res
+		} else {
+			row = append(row, "-", "-", "-")
+		}
+		rows = append(rows, row)
+	}
+	if err := report.Table(os.Stdout, "PRISM C: what-if I/O-node buffer cache",
+		[]string{"variant", "exec (s)", "io (s)", "chk write (s)", "rst read (s)",
+			"hit", "max dirty", "stalls"}, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("Write-behind acknowledges checkpoint records at memory-copy cost and")
+	fmt.Println("drains them to the arrays behind the computation; the restart read is")
+	fmt.Println("served from the blocks the writes left resident. The deltas above are")
+	fmt.Println("the mechanism, the counters are the evidence.")
+	fmt.Println()
+
+	// The cache's sampler timeline on the wire: tag-2 cache-sample records
+	// beside the tag-1 io-events any SDDF consumer already understands.
+	var b strings.Builder
+	w := sddf.NewWriter(&b)
+	desc := pablo.CacheSampleDescriptor()
+	if err := w.Define(desc); err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range cached.Samples {
+		for io, dirty := range s.CacheDirty {
+			rec, err := pablo.CacheSampleRecord(desc, pablo.CacheSample{
+				T: s.T, IONode: io, Dirty: int64(dirty),
+				Hits: int64(s.CacheHits), Misses: int64(s.CacheMisses),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := w.Write(rec); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	fmt.Printf("cache-sample SDDF stream (%d records; first lines):\n", len(lines)-2)
+	for i, line := range lines {
+		if i > 6 {
+			fmt.Printf("... %d more\n", len(lines)-i)
+			break
+		}
+		fmt.Println(line)
+	}
+}
+
+// fileTime sums the durations of op events against one file.
+func fileTime(t *pablo.Trace, op pablo.Op, file string) time.Duration {
+	var d time.Duration
+	for _, ev := range t.Events() {
+		if ev.Op == op && ev.File == file {
+			d += ev.Duration
+		}
+	}
+	return d
+}

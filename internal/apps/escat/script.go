@@ -14,6 +14,11 @@ func inputName(i int) string { return fmt.Sprintf("escat/input.%d", i) }
 func quadName(ch int) string { return fmt.Sprintf("escat/quad.%d", ch) }
 func outName(ch int) string  { return fmt.Sprintf("escat/out.%d", ch) }
 
+// QuadFile returns the name of one channel's quadrature staging file,
+// exported so analyses (e.g. the cache what-if experiment) can attribute
+// trace time to the staging writes.
+func QuadFile(ch int) string { return quadName(ch) }
+
 // Script installs the ESCAT workload on the machine: it preloads the
 // input files, spawns one process per node, and drives the four phases
 // according to the version's structure. The kernel is run by the caller.

@@ -21,6 +21,14 @@ const (
 
 func statsFile(i int) string { return fmt.Sprintf("prism/stats.%d", i) }
 
+// CheckpointFile and RestartFile name the files behind PRISM's dominant
+// I/O costs, exported so analyses (e.g. the cache what-if experiment) can
+// attribute trace time to them.
+const (
+	CheckpointFile = chkFile
+	RestartFile    = restartFile
+)
+
 // headerRegion returns the byte extent of the restart header.
 func headerRegion(d Dataset) int64 { return int64(d.HeaderConsults) * d.HeaderSize }
 

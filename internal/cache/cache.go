@@ -1,0 +1,592 @@
+// Package cache implements a deterministic per-I/O-node buffer cache —
+// the server-side caching layer Intel PFS famously lacked and whose
+// absence the paper's applications tuned around (checkpoint writes paying
+// full positioning cost, version C disabling client buffering, staging
+// phases hand-aggregating requests). It sits between the PFS I/O-node
+// service loop and the RAID-3 array model, entirely inside the
+// discrete-event simulation: no wall-clock time, no goroutines of its
+// own, all asynchrony expressed through the kernel's callback primitives
+// (Kernel.After, Resource.UseFn), so cached runs are bit-reproducible.
+//
+// The cache is block-granular with LRU replacement and provides:
+//
+//   - write-behind: dirty blocks are acknowledged at memory-copy cost and
+//     flushed asynchronously by a background flusher that drains in
+//     batches, immediately above a dirty-block high-water mark and after
+//     an idle delay otherwise; reads of dirty blocks hit the cache, so
+//     ordering is trivially correct (the array only ever sees flushes);
+//   - sequential read-ahead: a per-stream constant-stride detector (in
+//     block space — one file's stripes visit an I/O node with a constant
+//     stride) prefetches N blocks ahead and cancels queued prefetches
+//     when the stride breaks;
+//   - a full statistics surface — hits/misses, read-ahead
+//     issued/used/cancelled, dirty-queue depth and high-water mark,
+//     forced-flush stalls — so experiments can explain *why* a
+//     configuration wins, not just that it does.
+//
+// Everything the cache does to the array happens while holding the I/O
+// node's FIFO resource (Access runs at grant time; the flusher and
+// prefetcher acquire the same resource through UseFn), preserving the
+// single-actuator head-position model and the kernel's (at, seq) event
+// order.
+package cache
+
+import (
+	"fmt"
+	"time"
+
+	"paragonio/internal/disk"
+	"paragonio/internal/sim"
+)
+
+// DefaultCapacityFrac is the fraction of the backing array's capacity the
+// cache defaults to when CapacityBytes is unset: 1/256 of a 4.8 GB array
+// is ~19 MB per I/O node — a plausible mid-90s "what if the I/O nodes had
+// spent their DRAM on a buffer cache" budget.
+const DefaultCapacityFrac = 1.0 / 256
+
+// maxDetectStride bounds the block stride the read-ahead detector will
+// follow. Larger jumps are treated as random access.
+const maxDetectStride = 64
+
+// Config describes one I/O node's cache. The zero value of every field
+// selects a documented default, so Config{WriteBehind: true} is usable
+// as-is.
+type Config struct {
+	// BlockSize is the cache block size in bytes. PFS sets it to the
+	// stripe unit by default, which makes one cached block exactly one
+	// stripe chunk.
+	BlockSize int64
+	// CapacityBytes is the cache capacity. 0 derives it as CapacityFrac
+	// of the backing array's capacity.
+	CapacityBytes int64
+	// CapacityFrac is the fraction of array capacity used when
+	// CapacityBytes is 0 (default DefaultCapacityFrac).
+	CapacityFrac float64
+	// WriteBehind acknowledges writes at memory-copy cost and flushes
+	// dirty blocks asynchronously. When false, writes go through to the
+	// array synchronously (the cache still absorbs re-reads).
+	WriteBehind bool
+	// ReadAhead is how many blocks to prefetch ahead of a detected
+	// sequential stream. 0 disables read-ahead.
+	ReadAhead int
+	// DirtyHighWater is the dirty-block count above which the flusher
+	// runs immediately instead of waiting for the idle delay. 0 derives
+	// half the cache's block capacity.
+	DirtyHighWater int
+	// FlushBatch is the maximum number of dirty blocks written per
+	// flusher pass (default 8).
+	FlushBatch int
+	// IdleFlush is how long a dirty block may linger below the high-water
+	// mark before a background flush picks it up (default 50 ms).
+	IdleFlush time.Duration
+	// CopyBW is the memory-copy bandwidth in bytes/second used to price
+	// cache-to-client transfers (default 80 MB/s — server DRAM, faster
+	// than the clients' 25 MB/s buffer copies).
+	CopyBW float64
+	// HitCost is the fixed software cost of a cache lookup that hits
+	// (default 30 µs, slightly under the client buffer-hit cost).
+	HitCost time.Duration
+}
+
+// WithDefaults fills zero fields from blockSize (normally the PFS stripe
+// unit) and the backing array's parameters, then validates.
+func (c Config) WithDefaults(blockSize int64, d disk.Params) (Config, error) {
+	if c.BlockSize == 0 {
+		c.BlockSize = blockSize
+	}
+	if c.CapacityFrac == 0 {
+		c.CapacityFrac = DefaultCapacityFrac
+	}
+	if c.CapacityBytes == 0 {
+		c.CapacityBytes = int64(c.CapacityFrac * d.CapacityGB * float64(1<<30))
+	}
+	if c.DirtyHighWater == 0 && c.BlockSize > 0 {
+		c.DirtyHighWater = int(c.CapacityBytes / c.BlockSize / 2)
+		if c.DirtyHighWater < 1 {
+			c.DirtyHighWater = 1
+		}
+	}
+	if c.FlushBatch == 0 {
+		c.FlushBatch = 8
+	}
+	if c.IdleFlush == 0 {
+		c.IdleFlush = 50 * time.Millisecond
+	}
+	if c.CopyBW == 0 {
+		c.CopyBW = 80e6
+	}
+	if c.HitCost == 0 {
+		c.HitCost = 30 * time.Microsecond
+	}
+	return c, c.Validate()
+}
+
+// Validate reports whether the configuration is usable. It expects
+// defaults to have been applied (WithDefaults).
+func (c Config) Validate() error {
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("cache: BlockSize = %d, need > 0", c.BlockSize)
+	}
+	if c.CapacityBytes < 2*c.BlockSize {
+		return fmt.Errorf("cache: CapacityBytes = %d, need >= 2 blocks of %d", c.CapacityBytes, c.BlockSize)
+	}
+	if c.CapacityFrac < 0 {
+		return fmt.Errorf("cache: negative CapacityFrac %g", c.CapacityFrac)
+	}
+	if c.ReadAhead < 0 {
+		return fmt.Errorf("cache: negative ReadAhead %d", c.ReadAhead)
+	}
+	if c.DirtyHighWater < 1 {
+		return fmt.Errorf("cache: DirtyHighWater = %d, need >= 1", c.DirtyHighWater)
+	}
+	if c.FlushBatch < 1 {
+		return fmt.Errorf("cache: FlushBatch = %d, need >= 1", c.FlushBatch)
+	}
+	if c.IdleFlush <= 0 {
+		return fmt.Errorf("cache: IdleFlush = %v, need > 0", c.IdleFlush)
+	}
+	if c.CopyBW <= 0 {
+		return fmt.Errorf("cache: CopyBW = %g, need > 0", c.CopyBW)
+	}
+	if c.HitCost < 0 {
+		return fmt.Errorf("cache: negative HitCost %v", c.HitCost)
+	}
+	return nil
+}
+
+// Stats is a snapshot of one cache's accumulated activity.
+type Stats struct {
+	Hits   uint64 // block lookups served from cache
+	Misses uint64 // block lookups that went to the array
+
+	WriteBehindBytes  int64  // payload bytes acknowledged at copy cost
+	Flushes           uint64 // background flusher passes that wrote blocks
+	FlushedBlocks     uint64 // dirty blocks written by the background flusher
+	ForcedFlushStalls uint64 // dirty LRU victims written synchronously under a foreground request
+
+	Dirty    int // dirty blocks right now
+	MaxDirty int // dirty-queue depth high-water mark
+
+	ReadAheadIssued    uint64 // blocks prefetched
+	ReadAheadUsed      uint64 // prefetched blocks later hit by a demand read
+	ReadAheadCancelled uint64 // prefetch batches dropped at grant (stride broke)
+
+	Blocks int // resident blocks right now
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 with no lookups.
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// ReadAheadAccuracy returns ReadAheadUsed / ReadAheadIssued, or 0 when no
+// prefetches were issued.
+func (s Stats) ReadAheadAccuracy() float64 {
+	if s.ReadAheadIssued == 0 {
+		return 0
+	}
+	return float64(s.ReadAheadUsed) / float64(s.ReadAheadIssued)
+}
+
+// Add accumulates o into s (for aggregating per-I/O-node stats).
+func (s *Stats) Add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.WriteBehindBytes += o.WriteBehindBytes
+	s.Flushes += o.Flushes
+	s.FlushedBlocks += o.FlushedBlocks
+	s.ForcedFlushStalls += o.ForcedFlushStalls
+	s.Dirty += o.Dirty
+	if o.MaxDirty > s.MaxDirty {
+		s.MaxDirty = o.MaxDirty
+	}
+	s.ReadAheadIssued += o.ReadAheadIssued
+	s.ReadAheadUsed += o.ReadAheadUsed
+	s.ReadAheadCancelled += o.ReadAheadCancelled
+	s.Blocks += o.Blocks
+}
+
+// blockKey identifies one cached block: a stream (file extent on this
+// array) and a block index within it.
+type blockKey struct {
+	stream string
+	idx    int64
+}
+
+// block is one resident cache block on the intrusive LRU list.
+type block struct {
+	key        blockKey
+	dirty      bool
+	queued     bool // has an entry in the dirty FIFO
+	prefetched bool // brought in by read-ahead, not yet demanded
+	prev, next *block
+}
+
+// stream is the per-stream read-ahead detector state.
+type stream struct {
+	seen    bool
+	lastEnd int64 // last block index of the previous read request
+	stride  int64 // detected block stride (0 = no pattern)
+	run     int   // consecutive requests matching the stride
+	ahead   int64 // highest block index already scheduled for prefetch
+}
+
+// keyQueue is a simple head-indexed FIFO of block keys.
+type keyQueue struct {
+	buf  []blockKey
+	head int
+}
+
+func (q *keyQueue) push(k blockKey) { q.buf = append(q.buf, k) }
+func (q *keyQueue) len() int        { return len(q.buf) - q.head }
+func (q *keyQueue) pop() blockKey {
+	k := q.buf[q.head]
+	q.buf[q.head] = blockKey{}
+	q.head++
+	if q.head > len(q.buf)/2 && q.head > 32 {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return k
+}
+
+// Cache is one I/O node's buffer cache. It is driven entirely from kernel
+// context (Access runs while the I/O node's resource is held; flusher and
+// prefetcher schedule themselves through the same resource), so it needs
+// no locking and is deterministic by construction.
+type Cache struct {
+	k         *sim.Kernel
+	res       *sim.Resource
+	array     *disk.Array
+	cfg       Config
+	capBlocks int
+
+	blocks     map[blockKey]*block
+	mru, lru   *block // intrusive LRU list: mru = most recently used
+	dirtyq     keyQueue
+	dirtyCount int
+	streams    map[string]*stream
+
+	flushPending bool
+	stats        Stats
+}
+
+// New creates a cache in front of array, sharing the I/O node's FIFO
+// resource res for all background disk activity. cfg must already be
+// valid (see Config.WithDefaults).
+func New(k *sim.Kernel, res *sim.Resource, array *disk.Array, cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cache{
+		k:         k,
+		res:       res,
+		array:     array,
+		cfg:       cfg,
+		capBlocks: int(cfg.CapacityBytes / cfg.BlockSize),
+		blocks:    make(map[blockKey]*block),
+		streams:   make(map[string]*stream),
+	}, nil
+}
+
+// Config returns the cache's (defaulted) configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of accumulated statistics.
+func (c *Cache) Stats() Stats {
+	s := c.stats
+	s.Dirty = c.dirtyCount
+	s.Blocks = len(c.blocks)
+	return s
+}
+
+// Dirty returns the current dirty-block count.
+func (c *Cache) Dirty() int { return c.dirtyCount }
+
+// Access serves one contiguous piece of a request through the cache and
+// returns the service time. It must be called while the I/O node's
+// resource is held (i.e. from the PFS service loop's hold pricing), so
+// any array traffic it generates — miss fills, forced flushes of dirty
+// victims — extends the current hold, exactly like uncached service.
+func (c *Cache) Access(streamName string, off, size int64, write bool) time.Duration {
+	if size <= 0 {
+		return 0
+	}
+	bs := c.cfg.BlockSize
+	first, last := off/bs, (off+size-1)/bs
+	var d time.Duration
+	for idx := first; idx <= last; idx++ {
+		lo, hi := idx*bs, (idx+1)*bs
+		if lo < off {
+			lo = off
+		}
+		if hi > off+size {
+			hi = off + size
+		}
+		if write {
+			d += c.writeBlock(streamName, idx, hi-lo)
+		} else {
+			d += c.readBlock(streamName, idx, hi-lo)
+		}
+	}
+	if !write {
+		c.noteRead(streamName, first, last)
+	}
+	return d
+}
+
+func (c *Cache) copyTime(n int64) time.Duration {
+	return time.Duration(float64(n) / c.cfg.CopyBW * float64(time.Second))
+}
+
+// readBlock serves n payload bytes out of block idx.
+func (c *Cache) readBlock(streamName string, idx, n int64) time.Duration {
+	k := blockKey{stream: streamName, idx: idx}
+	if b := c.blocks[k]; b != nil {
+		c.touch(b)
+		if b.prefetched {
+			b.prefetched = false
+			c.stats.ReadAheadUsed++
+		}
+		c.stats.Hits++
+		return c.cfg.HitCost + c.copyTime(n)
+	}
+	c.stats.Misses++
+	// Miss: make room, fill the whole block from the array, hand the
+	// requested bytes to the client.
+	d := c.evictOne()
+	d += c.array.Service(streamName, idx*c.cfg.BlockSize, c.cfg.BlockSize)
+	c.insert(k)
+	return d + c.cfg.HitCost + c.copyTime(n)
+}
+
+// writeBlock absorbs n payload bytes into block idx.
+func (c *Cache) writeBlock(streamName string, idx, n int64) time.Duration {
+	k := blockKey{stream: streamName, idx: idx}
+	if !c.cfg.WriteBehind {
+		// Write-through: the array sees the write immediately; a resident
+		// copy stays coherent (whole-block writes simply refresh it).
+		if b := c.blocks[k]; b != nil {
+			c.touch(b)
+		}
+		return c.array.Service(streamName, idx*c.cfg.BlockSize, n)
+	}
+	var d time.Duration
+	b := c.blocks[k]
+	if b == nil {
+		// Write allocation: no array fill, so neither a hit nor a miss.
+		d += c.evictOne()
+		b = c.insert(k)
+	} else {
+		c.touch(b)
+		c.stats.Hits++
+	}
+	b.prefetched = false
+	if !b.dirty {
+		b.dirty = true
+		c.dirtyCount++
+		if c.dirtyCount > c.stats.MaxDirty {
+			c.stats.MaxDirty = c.dirtyCount
+		}
+	}
+	if !b.queued {
+		b.queued = true
+		c.dirtyq.push(k)
+	}
+	c.stats.WriteBehindBytes += n
+	d += c.cfg.HitCost + c.copyTime(n)
+	c.scheduleFlush(c.cfg.IdleFlush)
+	return d
+}
+
+// --- LRU bookkeeping -------------------------------------------------
+
+// touch moves b to the MRU end.
+func (c *Cache) touch(b *block) {
+	if c.mru == b {
+		return
+	}
+	c.unlink(b)
+	c.linkFront(b)
+}
+
+func (c *Cache) unlink(b *block) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		c.mru = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		c.lru = b.prev
+	}
+	b.prev, b.next = nil, nil
+}
+
+func (c *Cache) linkFront(b *block) {
+	b.next = c.mru
+	if c.mru != nil {
+		c.mru.prev = b
+	}
+	c.mru = b
+	if c.lru == nil {
+		c.lru = b
+	}
+}
+
+// insert adds a clean MRU block for k and returns it. Callers make room
+// with evictOne first.
+func (c *Cache) insert(k blockKey) *block {
+	b := &block{key: k}
+	c.blocks[k] = b
+	c.linkFront(b)
+	return b
+}
+
+// evictOne frees one slot if the cache is full, returning the synchronous
+// write time if the victim was dirty (a forced-flush stall: the
+// foreground request absorbs the victim's disk write).
+func (c *Cache) evictOne() time.Duration {
+	var d time.Duration
+	for len(c.blocks) >= c.capBlocks {
+		v := c.lru
+		if v.dirty {
+			d += c.array.Service(v.key.stream, v.key.idx*c.cfg.BlockSize, c.cfg.BlockSize)
+			v.dirty = false
+			c.dirtyCount--
+			c.stats.ForcedFlushStalls++
+		}
+		c.unlink(v)
+		delete(c.blocks, v.key)
+	}
+	return d
+}
+
+// --- write-behind flusher --------------------------------------------
+
+// scheduleFlush arms the background flusher after delay, if it is not
+// already armed and there is dirty data. Above the high-water mark the
+// flusher runs at once. The flusher is entirely callback-shaped: it only
+// reschedules itself while dirty blocks remain, so a cached run's event
+// queue drains and Kernel.Run terminates normally.
+func (c *Cache) scheduleFlush(delay time.Duration) {
+	if c.flushPending || c.dirtyCount == 0 {
+		return
+	}
+	if c.dirtyCount >= c.cfg.DirtyHighWater {
+		delay = 0
+	}
+	c.flushPending = true
+	c.k.After(delay, func() {
+		c.res.UseFn(c.flushHold, c.flushDone)
+	})
+}
+
+// flushHold runs at grant time on the I/O node's resource: it writes up
+// to FlushBatch of the oldest dirty blocks and prices the hold with their
+// service time.
+func (c *Cache) flushHold() sim.Time {
+	var d time.Duration
+	wrote := 0
+	for wrote < c.cfg.FlushBatch && c.dirtyCount > 0 {
+		k := c.dirtyq.pop()
+		b := c.blocks[k]
+		if b == nil || !b.dirty {
+			// Stale queue entry: the block was evicted (forced flush) or
+			// rewritten since. Skip without counting against the batch.
+			if b != nil {
+				b.queued = false
+			}
+			continue
+		}
+		b.queued = false
+		b.dirty = false
+		c.dirtyCount--
+		d += c.array.Service(k.stream, k.idx*c.cfg.BlockSize, c.cfg.BlockSize)
+		c.stats.FlushedBlocks++
+		wrote++
+	}
+	if wrote > 0 {
+		c.stats.Flushes++
+	}
+	return d
+}
+
+// flushDone re-arms the flusher if dirty blocks remain.
+func (c *Cache) flushDone() {
+	c.flushPending = false
+	c.scheduleFlush(c.cfg.IdleFlush)
+}
+
+// --- read-ahead -------------------------------------------------------
+
+// noteRead feeds the stride detector with one read request's block span
+// and schedules prefetches when a stable pattern is visible.
+func (c *Cache) noteRead(streamName string, first, last int64) {
+	if c.cfg.ReadAhead <= 0 {
+		return
+	}
+	s := c.streams[streamName]
+	if s == nil {
+		s = &stream{}
+		c.streams[streamName] = s
+	}
+	gap := first - s.lastEnd
+	switch {
+	case !s.seen:
+		// First request: nothing to detect yet.
+	case gap >= 1 && gap == s.stride:
+		s.run++
+	case gap >= 1 && gap <= maxDetectStride:
+		s.stride = gap
+		s.run = 1
+	default:
+		// Backward jump, overlap, or wild stride: pattern broken. Queued
+		// prefetch batches for this stream cancel at grant time.
+		s.stride, s.run, s.ahead = 0, 0, 0
+	}
+	s.seen = true
+	s.lastEnd = last
+	if s.run < 1 || s.stride <= 0 {
+		return
+	}
+	// Predict the next requests at last+stride, last+2*stride, … and
+	// prefetch up to ReadAhead blocks beyond what is already scheduled.
+	var targets []int64
+	for j := int64(1); j <= int64(c.cfg.ReadAhead); j++ {
+		t := last + s.stride*j
+		if t > s.ahead {
+			targets = append(targets, t)
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+	s.ahead = targets[len(targets)-1]
+	genStride := s.stride
+	c.res.UseFn(func() sim.Time {
+		if s.stride != genStride {
+			// Stride broke while we were queued: cancel the whole batch.
+			c.stats.ReadAheadCancelled++
+			return 0
+		}
+		var d time.Duration
+		for _, idx := range targets {
+			k := blockKey{stream: streamName, idx: idx}
+			if c.blocks[k] != nil {
+				continue // demand-fetched while we were queued
+			}
+			d += c.evictOne()
+			d += c.array.Service(streamName, idx*c.cfg.BlockSize, c.cfg.BlockSize)
+			c.insert(k).prefetched = true
+			c.stats.ReadAheadIssued++
+		}
+		return d
+	}, nil)
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"paragonio/internal/analysis"
+	"paragonio/internal/cache"
 	"paragonio/internal/disk"
 	"paragonio/internal/mesh"
 	"paragonio/internal/pablo"
@@ -37,6 +38,10 @@ type Config struct {
 	// that snapshots the file system's queues and disk busy time at
 	// this virtual period (Result.Samples).
 	SampleInterval time.Duration
+	// Cache, when non-nil, enables the what-if I/O-node buffer cache
+	// (internal/cache). The paper's machine had none, so canonical runs
+	// leave it nil and stay bit-identical to the golden digests.
+	Cache *cache.Config
 }
 
 // Platform is an assembled simulated machine with tracing attached.
@@ -73,6 +78,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	if cfg.StripeUnit != 0 {
 		fcfg.StripeUnit = cfg.StripeUnit
 	}
+	fcfg.Cache = cfg.Cache
 	fs, err := pfs.New(k, fcfg, tr)
 	if err != nil {
 		return nil, err
@@ -98,6 +104,19 @@ type Result struct {
 	// Samples holds utilization snapshots when Config.SampleInterval
 	// was set (nil otherwise).
 	Samples []pfs.UtilSample
+	// Cache holds per-I/O-node cache statistics when Config.Cache was
+	// set (nil otherwise).
+	Cache []cache.Stats
+}
+
+// CacheTotals aggregates the per-I/O-node cache statistics (zero when
+// caching was disabled).
+func (r *Result) CacheTotals() cache.Stats {
+	var t cache.Stats
+	for _, s := range r.Cache {
+		t.Add(s)
+	}
+	return t
 }
 
 // IOTime returns the summed duration of all I/O operations across nodes.
@@ -140,6 +159,7 @@ func Run(cfg Config, app, version string, script func(m *workload.Machine, seed 
 		Trace:   p.Trace,
 		Phases:  p.Machine.Phases(),
 		IONodes: p.Machine.FS.IONodeStats(),
+		Cache:   p.Machine.FS.CacheStats(),
 	}
 	if sampler != nil {
 		res.Samples = sampler.Samples()

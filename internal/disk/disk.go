@@ -24,7 +24,7 @@ type Params struct {
 	DiskBW     float64       // sustained bytes/second per data drive
 	Overhead   time.Duration // controller + SCSI per-request overhead
 	DataDisks  int           // data drives in the RAID-3 group (parity excluded)
-	CapacityGB float64       // usable capacity, informational
+	CapacityGB float64       // usable capacity (sizes the optional I/O-node cache)
 }
 
 // DefaultParams returns parameters for the 4.8 GB RAID-3 arrays on the
@@ -55,6 +55,11 @@ func (p Params) Validate() error {
 	}
 	if p.TrackSeek > p.AvgSeek {
 		return fmt.Errorf("disk: TrackSeek %v exceeds AvgSeek %v", p.TrackSeek, p.AvgSeek)
+	}
+	if p.CapacityGB <= 0 {
+		// Capacity used to be informational; the I/O-node buffer cache
+		// now sizes itself relative to it, so it must be meaningful.
+		return fmt.Errorf("disk: CapacityGB = %g, need > 0", p.CapacityGB)
 	}
 	return nil
 }

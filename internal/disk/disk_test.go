@@ -25,6 +25,8 @@ func TestValidate(t *testing.T) {
 		{"negative seek", func(p *Params) { p.AvgSeek = -time.Millisecond }},
 		{"negative overhead", func(p *Params) { p.Overhead = -time.Millisecond }},
 		{"track > avg seek", func(p *Params) { p.TrackSeek = p.AvgSeek + time.Millisecond }},
+		{"zero capacity", func(p *Params) { p.CapacityGB = 0 }},
+		{"negative capacity", func(p *Params) { p.CapacityGB = -4.8 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

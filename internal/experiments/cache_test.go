@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCacheWhatIfReproducible proves cached runs keep the simulator's
+// bit-reproducibility contract: two fresh suites render the identical
+// artifact, byte for byte.
+func TestCacheWhatIfReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size paper workloads skipped in -short mode")
+	}
+	a1, err := cacheWhatIf(sharedSuite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := cacheWhatIf(NewSuite(sharedSuite.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Text != a2.Text {
+		t.Fatalf("cachewhatif not reproducible:\n--- first\n%s\n--- second\n%s", a1.Text, a2.Text)
+	}
+}
+
+// TestCacheWhatIfWriteBehindWins pins the experiment's headline claim:
+// write-behind reduces PRISM's checkpoint I/O time (and overall I/O
+// time), with the mechanism visible in the cache statistics.
+func TestCacheWhatIfWriteBehindWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size paper workloads skipped in -short mode")
+	}
+	art, err := cacheWhatIf(sharedSuite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper = cache-off baseline; Measured = best cached variant.
+	if got, base := art.Measured["prism.chk_write_s"], art.Paper["prism.chk_write_s"]; got >= base {
+		t.Fatalf("checkpoint write time %g s not below cache-off baseline %g s", got, base)
+	}
+	if got, base := art.Measured["prism.io_s"], art.Paper["prism.io_s"]; got >= base {
+		t.Fatalf("PRISM I/O time %g s not below cache-off baseline %g s", got, base)
+	}
+	if got, base := art.Measured["eth.quad_write_s"], art.Paper["eth.quad_write_s"]; got >= base {
+		t.Fatalf("staging write time %g s not below cache-off baseline %g s", got, base)
+	}
+	for _, col := range []string{"hit_%", "max_dirty", "stalls"} {
+		if !strings.Contains(art.Text, col) {
+			t.Fatalf("artifact text missing cache-stats column %q:\n%s", col, art.Text)
+		}
+	}
+
+	// The mechanism, from the run itself: server-side hits and a working
+	// write-behind queue.
+	res, err := sharedSuite.PrismCached(cacheVariants()[2]) // wb32
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := res.CacheTotals()
+	if ct.HitRatio() < 0.5 {
+		t.Fatalf("hit ratio %.2f too low for the checkpoint/restart pattern", ct.HitRatio())
+	}
+	if ct.MaxDirty == 0 {
+		t.Fatal("write-behind queue never held a dirty block")
+	}
+	if ct.Dirty != 0 {
+		t.Fatalf("%d dirty blocks left after run end — flusher did not drain", ct.Dirty)
+	}
+	if ct.WriteBehindBytes == 0 {
+		t.Fatal("no bytes acknowledged via write-behind")
+	}
+}
+
+// TestCacheWhatIfRegistered checks the experiment is reachable by id,
+// i.e. `iotables -only cachewhatif` works.
+func TestCacheWhatIfRegistered(t *testing.T) {
+	e, ok := ByID("cachewhatif")
+	if !ok {
+		t.Fatal("cachewhatif not registered in All()")
+	}
+	if e.Run == nil || e.Title == "" {
+		t.Fatalf("incomplete experiment: %+v", e)
+	}
+}

@@ -38,8 +38,8 @@ func runExp(t *testing.T, id string) *Artifact {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
-		t.Fatalf("experiments = %d, want 14 (5 tables + 9 figures)", len(all))
+	if len(all) != 15 {
+		t.Fatalf("experiments = %d, want 15 (5 tables + 9 figures + cachewhatif)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

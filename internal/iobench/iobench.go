@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"paragonio/internal/cache"
 	"paragonio/internal/core"
 	"paragonio/internal/pablo"
 	"paragonio/internal/pfs"
@@ -87,6 +88,8 @@ type Params struct {
 	IONodes    int
 	StripeUnit int64
 	Seed       int64
+	// Cache, when non-nil, enables the what-if I/O-node buffer cache.
+	Cache *cache.Config
 }
 
 // withDefaults validates and fills defaults.
@@ -130,6 +133,9 @@ type Result struct {
 	// P50Op and P95Op are data-operation duration percentiles
 	// (queueing included).
 	P50Op, P95Op time.Duration
+	// CacheLabel names the cache rung for SweepCache results ("" for
+	// other sweeps).
+	CacheLabel string
 }
 
 // BandwidthMBs returns achieved aggregate bandwidth in MB/s of virtual
@@ -161,6 +167,7 @@ func Run(p Params) (*Result, error) {
 		Seed:       p.Seed,
 		IONodes:    p.IONodes,
 		StripeUnit: p.StripeUnit,
+		Cache:      p.Cache,
 	}
 	res, err := core.Run(cfg, "iobench", p.Kernel.String(),
 		func(m *workload.Machine, seed int64) error {

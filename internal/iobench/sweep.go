@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"paragonio/internal/cache"
 	"paragonio/internal/pfs"
 	"paragonio/internal/report"
 )
@@ -94,6 +95,44 @@ func SweepIONodes(base Params, counts []int) ([]*Result, error) {
 	return runSweep(params, func(i int, err error) error {
 		return fmt.Errorf("%s ionodes=%d: %w", base.Kernel, counts[i], err)
 	})
+}
+
+// CacheConfigs returns the canonical what-if cache ladder for SweepCache:
+// no cache, write-behind, and write-behind + read-ahead. Labels align
+// with the cachewhatif experiment family.
+func CacheConfigs() []struct {
+	Label string
+	Cfg   *cache.Config
+} {
+	return []struct {
+		Label string
+		Cfg   *cache.Config
+	}{
+		{"no-cache", nil},
+		{"write-behind", &cache.Config{WriteBehind: true}},
+		{"wb+read-ahead", &cache.Config{WriteBehind: true, ReadAhead: 4}},
+	}
+}
+
+// SweepCache runs one kernel/mode across the I/O-node cache ladder — the
+// what-if counterpart of the machine-configuration sweeps.
+func SweepCache(base Params) ([]*Result, error) {
+	ladder := CacheConfigs()
+	params := make([]Params, len(ladder))
+	for i, c := range ladder {
+		params[i] = base
+		params[i].Cache = c.Cfg
+	}
+	results, err := runSweep(params, func(i int, err error) error {
+		return fmt.Errorf("%s cache=%s: %w", base.Kernel, ladder[i].Label, err)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		r.CacheLabel = ladder[i].Label
+	}
+	return results, nil
 }
 
 // WriteTable renders sweep results as an aligned table. label extracts

@@ -1,0 +1,70 @@
+package pablo
+
+import (
+	"fmt"
+	"time"
+
+	"paragonio/internal/sddf"
+)
+
+// CacheSample is one per-I/O-node snapshot of the what-if buffer cache
+// (internal/cache), the second record stream cache experiments carry
+// beside io-events. Fields mirror cache.Stats but are kept plain here so
+// the trace layer does not depend on the cache subsystem.
+type CacheSample struct {
+	T      time.Duration
+	IONode int
+	Hits   int64
+	Misses int64
+	Dirty  int64 // instantaneous dirty-block (write-behind) queue depth
+	Stalls int64 // forced-flush stalls so far
+	RAUsed int64 // prefetched blocks later demanded
+	RAIss  int64 // prefetched blocks issued
+}
+
+// CacheSampleDescriptor returns the cache-sample record type (tag 2).
+func CacheSampleDescriptor() *sddf.Descriptor {
+	return &sddf.Descriptor{
+		Tag: 2, Name: "cache-sample",
+		Fields: []sddf.Field{
+			{Name: "t_ns", Type: sddf.Int},
+			{Name: "ionode", Type: sddf.Int},
+			{Name: "hits", Type: sddf.Int},
+			{Name: "misses", Type: sddf.Int},
+			{Name: "dirty", Type: sddf.Int},
+			{Name: "stalls", Type: sddf.Int},
+			{Name: "ra_used", Type: sddf.Int},
+			{Name: "ra_issued", Type: sddf.Int},
+		},
+	}
+}
+
+// CacheSampleRecord converts a sample into a cache-sample record.
+func CacheSampleRecord(desc *sddf.Descriptor, s CacheSample) (sddf.Record, error) {
+	return sddf.NewRecord(desc,
+		int64(s.T), int64(s.IONode), s.Hits, s.Misses, s.Dirty,
+		s.Stalls, s.RAUsed, s.RAIss)
+}
+
+// CacheSampleFromRecord parses a cache-sample record back.
+func CacheSampleFromRecord(rec sddf.Record) (CacheSample, error) {
+	var s CacheSample
+	if rec.Desc == nil || rec.Desc.Name != "cache-sample" {
+		return s, fmt.Errorf("pablo: record is not a cache-sample")
+	}
+	t, ok1 := rec.Int("t_ns")
+	ion, ok2 := rec.Int("ionode")
+	hits, ok3 := rec.Int("hits")
+	misses, ok4 := rec.Int("misses")
+	dirty, ok5 := rec.Int("dirty")
+	stalls, ok6 := rec.Int("stalls")
+	raUsed, ok7 := rec.Int("ra_used")
+	raIss, ok8 := rec.Int("ra_issued")
+	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7 && ok8) {
+		return s, fmt.Errorf("pablo: cache-sample record missing fields")
+	}
+	return CacheSample{
+		T: time.Duration(t), IONode: int(ion), Hits: hits, Misses: misses,
+		Dirty: dirty, Stalls: stalls, RAUsed: raUsed, RAIss: raIss,
+	}, nil
+}

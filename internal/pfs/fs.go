@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"paragonio/internal/cache"
 	"paragonio/internal/disk"
 	"paragonio/internal/mesh"
 	"paragonio/internal/pablo"
@@ -24,6 +25,12 @@ type Config struct {
 	Costs      Costs       // software-path costs
 	Mesh       *mesh.Mesh  // interconnect model (required)
 	BufSize    int64       // client read-buffer size (default = StripeUnit)
+	// Cache, when non-nil, installs a buffer cache on every I/O node (a
+	// what-if extension — Intel PFS had none, which is why it defaults to
+	// off and all canonical paper runs leave it nil). The config's zero
+	// fields are defaulted against StripeUnit and Disk; see
+	// cache.Config.WithDefaults.
+	Cache *cache.Config
 }
 
 // DefaultConfig returns the paper's machine: 16 I/O nodes, 64 KB stripe
@@ -38,11 +45,24 @@ func DefaultConfig(m *mesh.Mesh) Config {
 	}
 }
 
-// ioNode is one I/O service node: a FIFO server fronting a RAID-3 array.
+// ioNode is one I/O service node: a FIFO server fronting a RAID-3 array,
+// optionally through a buffer cache.
 type ioNode struct {
 	idx   int
 	res   *sim.Resource
 	array *disk.Array
+	cache *cache.Cache // nil when caching is disabled
+}
+
+// service prices chunk service at the array — or through the cache when
+// one is installed. Must run while res is held (process hold or UseFn
+// grant), so cache side effects (miss fills, forced flushes) extend the
+// current hold exactly like uncached head movement.
+func (n *ioNode) service(name string, c chunk, write bool) time.Duration {
+	if n.cache != nil {
+		return n.cache.Access(name, c.off, c.size, write)
+	}
+	return n.array.Service(name, c.off, c.size)
 }
 
 // file is the server-side state of one PFS file.
@@ -97,6 +117,13 @@ func New(k *sim.Kernel, cfg Config, tracer pablo.Tracer) (*FileSystem, error) {
 	if cfg.BufSize < 0 {
 		return nil, fmt.Errorf("pfs: negative buffer size %d", cfg.BufSize)
 	}
+	if cfg.Cache != nil {
+		cc, err := cfg.Cache.WithDefaults(cfg.StripeUnit, cfg.Disk)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Cache = &cc
+	}
 	if tracer == nil {
 		tracer = pablo.Discard
 	}
@@ -108,11 +135,19 @@ func New(k *sim.Kernel, cfg Config, tracer pablo.Tracer) (*FileSystem, error) {
 		tracer: tracer,
 	}
 	for i := 0; i < cfg.IONodes; i++ {
-		fs.ios = append(fs.ios, &ioNode{
+		n := &ioNode{
 			idx:   i,
 			res:   sim.NewResource(k, fmt.Sprintf("ionode-%d", i), 1),
 			array: disk.MustNewArray(cfg.Disk),
-		})
+		}
+		if cfg.Cache != nil {
+			c, err := cache.New(k, n.res, n.array, *cfg.Cache)
+			if err != nil {
+				return nil, err
+			}
+			n.cache = c
+		}
+		fs.ios = append(fs.ios, n)
 	}
 	return fs, nil
 }
@@ -167,6 +202,22 @@ func (fs *FileSystem) IONodeStats() []disk.Stats {
 
 // MetadataStats returns queueing statistics of the metadata service.
 func (fs *FileSystem) MetadataStats() sim.ResourceStats { return fs.meta.Stats() }
+
+// Caching reports whether the I/O-node buffer cache is enabled.
+func (fs *FileSystem) Caching() bool { return fs.cfg.Cache != nil }
+
+// CacheStats returns per-I/O-node cache statistics, indexed by I/O node,
+// or nil when caching is disabled.
+func (fs *FileSystem) CacheStats() []cache.Stats {
+	if fs.cfg.Cache == nil {
+		return nil
+	}
+	out := make([]cache.Stats, len(fs.ios))
+	for i, io := range fs.ios {
+		out[i] = io.cache.Stats()
+	}
+	return out
+}
 
 // lookup returns the file record, creating it if requested.
 func (fs *FileSystem) lookup(name string, create bool) *file {
@@ -261,7 +312,7 @@ func (fs *FileSystem) chunksByIONode(f *file, off, size int64) ([][]chunk, []int
 // software overhead, network to each involved I/O node, FIFO disk
 // service per node, with distinct I/O nodes proceeding in parallel.
 // It blocks p until the slowest I/O node finishes.
-func (fs *FileSystem) xfer(p *sim.Proc, node int, f *file, off, size int64) {
+func (fs *FileSystem) xfer(p *sim.Proc, node int, f *file, off, size int64, write bool) {
 	if size <= 0 {
 		return
 	}
@@ -272,12 +323,12 @@ func (fs *FileSystem) xfer(p *sim.Proc, node int, f *file, off, size int64) {
 		// per-node grouping entirely (the overwhelmingly common case for
 		// the paper's small-request workloads).
 		io := (f.base + int((off/u)%int64(len(fs.ios)))) % len(fs.ios)
-		fs.serveIONode(p, node, f, io, []chunk{{off: off, size: size}})
+		fs.serveIONode(p, node, f, io, []chunk{{off: off, size: size}}, write)
 		return
 	}
 	lists, ios := fs.chunksByIONode(f, off, size)
 	if len(ios) == 1 {
-		fs.serveIONode(p, node, f, ios[0], lists[ios[0]])
+		fs.serveIONode(p, node, f, ios[0], lists[ios[0]], write)
 		return
 	}
 	// Fan out one callback chain per additional I/O node; the request
@@ -285,9 +336,9 @@ func (fs *FileSystem) xfer(p *sim.Proc, node int, f *file, off, size int64) {
 	done := sim.NewMailbox(fs.k, "xfer-join")
 	for _, io := range ios[1:] {
 		io := io
-		fs.serveIONodeFn(node, f, io, lists[io], func() { done.Send(io) })
+		fs.serveIONodeFn(node, f, io, lists[io], write, func() { done.Send(io) })
 	}
-	fs.serveIONode(p, node, f, ios[0], lists[ios[0]])
+	fs.serveIONode(p, node, f, ios[0], lists[ios[0]], write)
 	for range ios[1:] {
 		done.Recv(p)
 	}
@@ -295,7 +346,7 @@ func (fs *FileSystem) xfer(p *sim.Proc, node int, f *file, off, size int64) {
 
 // serveIONode moves one request's chunks through a single I/O node:
 // mesh transfer of the payload, then FIFO disk service.
-func (fs *FileSystem) serveIONode(p *sim.Proc, node int, f *file, io int, chunks []chunk) {
+func (fs *FileSystem) serveIONode(p *sim.Proc, node int, f *file, io int, chunks []chunk, write bool) {
 	var bytes int64
 	for _, c := range chunks {
 		bytes += c.size
@@ -305,7 +356,7 @@ func (fs *FileSystem) serveIONode(p *sim.Proc, node int, f *file, io int, chunks
 	n.res.Acquire(p)
 	var d time.Duration
 	for _, c := range chunks {
-		d += n.array.Service(f.name, c.off, c.size)
+		d += n.service(f.name, c, write)
 	}
 	p.Wait(d)
 	n.res.Release(p)
@@ -318,7 +369,7 @@ func (fs *FileSystem) serveIONode(p *sim.Proc, node int, f *file, io int, chunks
 // service is priced at grant time inside UseFn, so (at, seq) orderings,
 // disk head movement, and therefore traces are bit-identical with the
 // process path.
-func (fs *FileSystem) serveIONodeFn(node int, f *file, io int, chunks []chunk, then func()) {
+func (fs *FileSystem) serveIONodeFn(node int, f *file, io int, chunks []chunk, write bool, then func()) {
 	var bytes int64
 	for _, c := range chunks {
 		bytes += c.size
@@ -329,7 +380,7 @@ func (fs *FileSystem) serveIONodeFn(node int, f *file, io int, chunks []chunk, t
 			n.res.UseFn(func() sim.Time {
 				var d time.Duration
 				for _, c := range chunks {
-					d += n.array.Service(f.name, c.off, c.size)
+					d += n.service(f.name, c, write)
 				}
 				return d
 			}, then)

@@ -74,7 +74,7 @@ func (h *Handle) readData(p *sim.Proc, off, n int64) {
 		return
 	}
 	if !h.buffered {
-		h.fs.xfer(p, h.node, h.f, off, n)
+		h.fs.xfer(p, h.node, h.f, off, n, false)
 		return
 	}
 	if off >= h.bufOff && off+n <= h.bufOff+h.bufLen {
@@ -95,7 +95,7 @@ func (h *Handle) readData(p *sim.Proc, off, n int64) {
 	if fetch < n {
 		fetch = n
 	}
-	h.fs.xfer(p, h.node, h.f, off, fetch)
+	h.fs.xfer(p, h.node, h.f, off, fetch, false)
 	p.Wait(h.copyTime(n))
 	h.bufOff, h.bufLen = off, fetch
 }
@@ -103,7 +103,7 @@ func (h *Handle) readData(p *sim.Proc, off, n int64) {
 // writeData moves n bytes at off to disk (write-through) and extends the
 // file. Any read buffer is dropped to keep it coherent.
 func (h *Handle) writeData(p *sim.Proc, off, n int64) {
-	h.fs.xfer(p, h.node, h.f, off, n)
+	h.fs.xfer(p, h.node, h.f, off, n, true)
 	if off+n > h.f.size {
 		h.f.size = off + n
 	}

@@ -23,6 +23,13 @@ type UtilSample struct {
 	// TokenQueue is the summed instantaneous queue length across all
 	// file atomicity tokens.
 	TokenQueue int
+	// CacheDirty is each I/O node's instantaneous dirty-block count (the
+	// write-behind queue depth). Nil when caching is disabled.
+	CacheDirty []int
+	// CacheHits and CacheMisses are the cumulative block-lookup totals
+	// summed across all I/O-node caches at the sample (0 when caching is
+	// disabled).
+	CacheHits, CacheMisses uint64
 }
 
 // Sampler periodically snapshots a file system from inside the
@@ -62,9 +69,18 @@ func (s *Sampler) take(now time.Duration) {
 		IONodeQueue: make([]int, len(s.fs.ios)),
 		MetaQueue:   s.fs.meta.QueueLen(),
 	}
+	if s.fs.Caching() {
+		sample.CacheDirty = make([]int, len(s.fs.ios))
+	}
 	for i, io := range s.fs.ios {
 		sample.IONodeBusy[i] = io.array.Stats().Busy
 		sample.IONodeQueue[i] = io.res.QueueLen()
+		if io.cache != nil {
+			cs := io.cache.Stats()
+			sample.CacheDirty[i] = cs.Dirty
+			sample.CacheHits += cs.Hits
+			sample.CacheMisses += cs.Misses
+		}
 	}
 	// Deterministic iteration for reproducible traces: sum over sorted
 	// file names.
@@ -101,6 +117,20 @@ func (s *Sampler) MaxMetaQueue() int {
 	for _, sm := range s.samples {
 		if sm.MetaQueue > m {
 			m = sm.MetaQueue
+		}
+	}
+	return m
+}
+
+// MaxCacheDirty returns the deepest per-I/O-node dirty-block queue
+// observed across all samples (0 when caching is disabled).
+func (s *Sampler) MaxCacheDirty() int {
+	var m int
+	for _, sm := range s.samples {
+		for _, d := range sm.CacheDirty {
+			if d > m {
+				m = d
+			}
 		}
 	}
 	return m

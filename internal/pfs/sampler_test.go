@@ -74,6 +74,73 @@ func TestSamplerBusyMonotoneAndStops(t *testing.T) {
 	}
 }
 
+// TestSamplerZeroIOSelfStops pins the edge case of a run with no
+// application activity at all: the sampler is the only live process, so
+// it must stop immediately instead of ticking forever (Kernel.Run would
+// otherwise never return).
+func TestSamplerZeroIOSelfStops(t *testing.T) {
+	r := newRig(t)
+	s := NewSampler(r.fs, 10*time.Millisecond)
+	r.run(t)
+	if now := r.k.Now(); now != 0 {
+		t.Fatalf("sampler advanced an empty run to %v", now)
+	}
+	if n := len(s.Samples()); n != 0 {
+		t.Fatalf("got %d samples from an empty run, want 0", n)
+	}
+}
+
+// TestSamplerComputeOnlyApp covers an application that consumes virtual
+// time but performs no I/O: the sampler must tick (all-zero samples) and
+// still stop when the application ends.
+func TestSamplerComputeOnlyApp(t *testing.T) {
+	r := newRig(t)
+	s := NewSampler(r.fs, 10*time.Millisecond)
+	r.k.Spawn("compute", func(p *sim.Proc) {
+		p.Wait(35 * time.Millisecond)
+	})
+	r.run(t)
+	samples := s.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples from a compute-only run")
+	}
+	for _, sm := range samples {
+		if sm.MetaQueue != 0 || sm.TokenQueue != 0 {
+			t.Fatalf("phantom queue activity in sample %+v", sm)
+		}
+		if sm.CacheDirty != nil || sm.CacheHits != 0 || sm.CacheMisses != 0 {
+			t.Fatalf("cache fields populated with caching disabled: %+v", sm)
+		}
+	}
+	// One interval past the app's end at most.
+	if r.k.Now() > 45*time.Millisecond {
+		t.Fatalf("sampler extended the run to %v", r.k.Now())
+	}
+}
+
+// TestSamplerAlignedRunEnd pins sampling when the application ends
+// exactly on a sample boundary: the final sample lands precisely at run
+// end and the sampler does not tick past it.
+func TestSamplerAlignedRunEnd(t *testing.T) {
+	r := newRig(t)
+	const interval = 25 * time.Millisecond
+	s := NewSampler(r.fs, interval)
+	r.k.Spawn("compute", func(p *sim.Proc) {
+		p.Wait(4 * interval) // ends exactly at the 4th sample instant
+	})
+	r.run(t)
+	samples := s.Samples()
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(samples))
+	}
+	if last := samples[len(samples)-1].T; last != 4*interval {
+		t.Fatalf("last sample at %v, want exactly %v", last, 4*interval)
+	}
+	if r.k.Now() != 4*interval {
+		t.Fatalf("run extended past aligned end: %v", r.k.Now())
+	}
+}
+
 func TestSamplerIntervalValidation(t *testing.T) {
 	r := newRig(t)
 	defer func() {
