@@ -1,7 +1,7 @@
 # paragonio — reproduction of Smirni et al., HPDC 1996.
 GO ?= go
 
-.PHONY: all build test test-short vet vet-race fmt bench bench-smoke tables experiments clean
+.PHONY: all build test test-short vet vet-race fmt bench bench-smoke bench-json tables experiments clean
 
 all: build test
 
@@ -17,8 +17,10 @@ test-short:
 vet:
 	$(GO) vet ./...
 
-# Race-check the concurrent pieces: the parallel suite runner and the
-# kernel primitives it drives.
+# Race-check the concurrent pieces: the sharded kernel (the randomized
+# sharded-vs-oracle property test and the sharded golden digests both
+# live in these packages), the parallel suite runner, and the kernel
+# primitives they drive.
 vet-race:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/experiments/ ./internal/sim/
@@ -34,6 +36,14 @@ bench:
 # sanity check that the benchmark harness itself still works.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Machine-readable perf trajectory: run the kernel/PFS/suite benchmarks
+# once and emit BENCH_<date>.json (ns/op, allocs/op, custom metrics,
+# suite wall clock). Compare files across commits to track the trend.
+bench-json:
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=1x ./... | tee bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json < bench.out
+	@rm -f bench.out
 
 # Regenerate the paper's tables and figures to stdout (and artifacts/).
 tables:

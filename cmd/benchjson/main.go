@@ -1,0 +1,186 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON benchmark record — the format behind the
+// repository's BENCH_<date>.json perf-trajectory files (see `make
+// bench-json` and docs/PERFORMANCE.md).
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchmem -benchtime=1x ./... > bench.out
+//	go run ./cmd/benchjson -o BENCH_2026-08-05.json < bench.out
+//
+// Besides ns/op, B/op and allocs/op it keeps every custom metric the
+// benchmarks report (the artifact benchmarks attach their headline
+// measured quantities), and records each package's wall-clock "ok"
+// time, whose sum is the suite wall clock.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with its -GOMAXPROCS suffix intact
+	// (two records with different suffixes are different measurements).
+	Name       string  `json:"name"`
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BPerOp / AllocsPerOp are present only under -benchmem.
+	BPerOp      *float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every other reported unit (custom b.ReportMetric
+	// values such as the artifact benchmarks' measured quantities).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// PackageTime is one package's wall-clock "ok" line.
+type PackageTime struct {
+	Package string  `json:"package"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Report is the BENCH_<date>.json document.
+type Report struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos,omitempty"`
+	GOARCH     string `json:"goarch,omitempty"`
+	CPU        string `json:"cpu,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// SuiteSeconds is the summed wall clock of every "ok <pkg> <t>s"
+	// line — the end-to-end cost of the benchmark suite.
+	SuiteSeconds float64       `json:"suite_seconds"`
+	Packages     []PackageTime `json:"packages,omitempty"`
+	Benchmarks   []Benchmark   `json:"benchmarks"`
+}
+
+// parse reads `go test -bench` output and builds the report skeleton
+// (everything except the run date, which the caller stamps).
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "ok "):
+			f := strings.Fields(line)
+			if len(f) >= 3 && strings.HasSuffix(f[2], "s") {
+				secs, err := strconv.ParseFloat(strings.TrimSuffix(f[2], "s"), 64)
+				if err == nil {
+					rep.Packages = append(rep.Packages, PackageTime{Package: f[1], Seconds: secs})
+					rep.SuiteSeconds += secs
+				}
+			}
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line, pkg)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %v (line %q)", err, line)
+			}
+			if b != nil {
+				rep.Benchmarks = append(rep.Benchmarks, *b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line: name, iteration count, then
+// (value, unit) pairs. Lines without an iteration count (e.g. a bare
+// "BenchmarkFoo" printed under -v before the result) are skipped.
+func parseBenchLine(line, pkg string) (*Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 3 {
+		return nil, nil
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return nil, nil
+	}
+	b := &Benchmark{Name: f[0], Package: pkg, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", f[i])
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			v := val
+			b.BPerOp = &v
+		case "allocs/op":
+			v := val
+			b.AllocsPerOp = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, nil
+}
+
+func run(in io.Reader, out io.Writer, date string) error {
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark result lines on stdin")
+	}
+	rep.Date = date
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func main() {
+	outPath := flag.String("o", "", "output file (default stdout)")
+	date := flag.String("date", time.Now().Format("2006-01-02"), "run date stamped into the report")
+	flag.Parse()
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := run(os.Stdin, out, *date); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *outPath != "" {
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+}

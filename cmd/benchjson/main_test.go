@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: paragonio
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkTable1ESCATModes-8   	       1	 142000000 ns/op	        12.30 eth.open_cnt	  512 B/op	       9 allocs/op
+BenchmarkKernelEventDispatch-8	 5204425	       230.5 ns/op	      48 B/op	       1 allocs/op
+BenchmarkShardedCarbonMonoxide/shards=1-8         	       1	1400000000 ns/op
+PASS
+ok  	paragonio	12.345s
+pkg: paragonio/internal/sim
+BenchmarkHeapPush	 1000000	      55.0 ns/op
+PASS
+ok  	paragonio/internal/sim	1.655s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.CPU != "Intel(R) Xeon(R) CPU" {
+		t.Fatalf("host fields wrong: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkTable1ESCATModes-8" || b.Package != "paragonio" {
+		t.Fatalf("first benchmark: %+v", b)
+	}
+	if b.Iterations != 1 || b.NsPerOp != 142000000 {
+		t.Fatalf("first benchmark numbers: %+v", b)
+	}
+	if b.BPerOp == nil || *b.BPerOp != 512 || b.AllocsPerOp == nil || *b.AllocsPerOp != 9 {
+		t.Fatalf("first benchmark memstats: %+v", b)
+	}
+	if got := b.Metrics["eth.open_cnt"]; got != 12.30 {
+		t.Fatalf("custom metric = %v, want 12.30", got)
+	}
+
+	if b := rep.Benchmarks[1]; b.NsPerOp != 230.5 || b.Iterations != 5204425 {
+		t.Fatalf("second benchmark: %+v", b)
+	}
+	if b := rep.Benchmarks[2]; !strings.Contains(b.Name, "shards=1") || b.NsPerOp != 1.4e9 {
+		t.Fatalf("sub-benchmark: %+v", b)
+	}
+	if b := rep.Benchmarks[3]; b.Package != "paragonio/internal/sim" || b.BPerOp != nil {
+		t.Fatalf("cross-package benchmark: %+v", b)
+	}
+
+	if rep.SuiteSeconds != 14.0 {
+		t.Fatalf("suite wall clock = %v, want 14.0", rep.SuiteSeconds)
+	}
+	if len(rep.Packages) != 2 || rep.Packages[1].Seconds != 1.655 {
+		t.Fatalf("package times: %+v", rep.Packages)
+	}
+}
+
+func TestRunEmitsJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleOutput), &out, "2026-08-05"); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Date != "2026-08-05" {
+		t.Fatalf("date = %q", rep.Date)
+	}
+	if len(rep.Benchmarks) != 4 || rep.SuiteSeconds != 14.0 {
+		t.Fatalf("round-trip lost data: %+v", rep)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("no benchmarks here\n"), &out, "2026-08-05"); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

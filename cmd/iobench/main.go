@@ -10,12 +10,15 @@
 //	iobench -kernel compulsory-read -sweep ionodes -mode M_GLOBAL
 //	iobench -kernel checkpoint     -sweep cache   -mode M_ASYNC
 //	iobench -nodes 64 -volume 67108864 -request 131072
+//	iobench -shards auto           # shard each simulation across all cores
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 
 	"paragonio/internal/iobench"
 	"paragonio/internal/pfs"
@@ -30,15 +33,35 @@ func main() {
 		request = flag.Int64("request", 128<<10, "request size (bytes)")
 		volume  = flag.Int64("volume", 32<<20, "total bytes per kernel")
 		seed    = flag.Int64("seed", 1, "workload seed")
+		shards  = flag.String("shards", "1",
+			"kernel shards per simulation: 1 = single-threaded, N >= 2 = conservative lanes, auto = GOMAXPROCS (results are identical for any value)")
 	)
 	flag.Parse()
-	if err := run(*kernel, *sweep, *mode, *nodes, *request, *volume, *seed); err != nil {
+	ns, err := parseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iobench:", err)
+		os.Exit(1)
+	}
+	if err := run(*kernel, *sweep, *mode, *nodes, *request, *volume, *seed, ns); err != nil {
 		fmt.Fprintln(os.Stderr, "iobench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kernel, sweep, modeName string, nodes int, request, volume, seed int64) error {
+// parseShards resolves the -shards flag: a positive integer or "auto"
+// (all cores).
+func parseShards(s string) (int, error) {
+	if s == "auto" {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("invalid -shards %q (want a positive integer or auto)", s)
+	}
+	return n, nil
+}
+
+func run(kernel, sweep, modeName string, nodes int, request, volume, seed int64, shards int) error {
 	var kernels []iobench.Kernel
 	if kernel == "" {
 		kernels = iobench.Kernels()
@@ -62,6 +85,7 @@ func run(kernel, sweep, modeName string, nodes int, request, volume, seed int64)
 		base := iobench.Params{
 			Kernel: k, Mode: mode, Nodes: nodes,
 			Request: request, Volume: volume, Seed: seed,
+			Shards: shards,
 		}
 		var results []*iobench.Result
 		var label func(*iobench.Result) string

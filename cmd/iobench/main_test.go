@@ -3,19 +3,19 @@ package main
 import "testing"
 
 func TestRunValidation(t *testing.T) {
-	if err := run("nosuch", "modes", "M_ASYNC", 8, 65536, 1<<20, 1); err == nil {
+	if err := run("nosuch", "modes", "M_ASYNC", 8, 65536, 1<<20, 1, 1); err == nil {
 		t.Fatal("unknown kernel accepted")
 	}
-	if err := run("strided-reload", "nosuch", "M_ASYNC", 8, 65536, 1<<20, 1); err == nil {
+	if err := run("strided-reload", "nosuch", "M_ASYNC", 8, 65536, 1<<20, 1, 1); err == nil {
 		t.Fatal("unknown sweep accepted")
 	}
-	if err := run("strided-reload", "modes", "M_BOGUS", 8, 65536, 1<<20, 1); err == nil {
+	if err := run("strided-reload", "modes", "M_BOGUS", 8, 65536, 1<<20, 1, 1); err == nil {
 		t.Fatal("unknown mode accepted")
 	}
 }
 
 func TestRunSmallSweep(t *testing.T) {
-	if err := run("staging-write", "ionodes", "M_ASYNC", 8, 65536, 1<<20, 1); err != nil {
+	if err := run("staging-write", "ionodes", "M_ASYNC", 8, 65536, 1<<20, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -8,6 +8,7 @@
 //	iotables -only table2,figure5
 //	iotables -seed 7 -summary
 //	iotables -j 8             # regenerate with 8 parallel workers
+//	iotables -shards auto     # shard each simulation across all cores
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"paragonio/internal/experiments"
@@ -29,15 +31,35 @@ func main() {
 		outDir  = flag.String("out", "", "also write each artifact to <dir>/<id>.txt")
 		jobs    = flag.Int("j", runtime.GOMAXPROCS(0),
 			"experiments regenerated in parallel (sims are deterministic; output is identical for any -j)")
+		shards = flag.String("shards", "1",
+			"kernel shards per simulation: 1 = single-threaded, N >= 2 = conservative lanes, auto = GOMAXPROCS (output is identical for any value)")
 	)
 	flag.Parse()
-	if err := run(*only, *seed, *summary, *outDir, *jobs); err != nil {
+	n, err := parseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iotables:", err)
+		os.Exit(1)
+	}
+	if err := run(*only, *seed, *summary, *outDir, *jobs, n); err != nil {
 		fmt.Fprintln(os.Stderr, "iotables:", err)
 		os.Exit(1)
 	}
 }
 
-func run(only string, seed int64, summary bool, outDir string, jobs int) error {
+// parseShards resolves the -shards flag: a positive integer or "auto"
+// (all cores).
+func parseShards(s string) (int, error) {
+	if s == "auto" {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("invalid -shards %q (want a positive integer or auto)", s)
+	}
+	return n, nil
+}
+
+func run(only string, seed int64, summary bool, outDir string, jobs, shards int) error {
 	exps := experiments.All()
 	if only != "" {
 		wanted := map[string]bool{}
@@ -66,6 +88,7 @@ func run(only string, seed int64, summary bool, outDir string, jobs int) error {
 		}
 	}
 	suite := experiments.NewSuite(seed)
+	suite.Shards = shards
 	arts, err := experiments.RunAll(suite, exps, jobs)
 	if err != nil {
 		return err

@@ -261,6 +261,7 @@ func (q *keyQueue) pop() blockKey {
 // no locking and is deterministic by construction.
 type Cache struct {
 	k         *sim.Kernel
+	sched     *sim.Shard // the I/O node's shard lane; all timers route here
 	res       *sim.Resource
 	array     *disk.Array
 	cfg       Config
@@ -285,6 +286,7 @@ func New(k *sim.Kernel, res *sim.Resource, array *disk.Array, cfg Config) (*Cach
 	}
 	return &Cache{
 		k:         k,
+		sched:     res.Lane(),
 		res:       res,
 		array:     array,
 		cfg:       cfg,
@@ -483,7 +485,7 @@ func (c *Cache) scheduleFlush(delay time.Duration) {
 		delay = 0
 	}
 	c.flushPending = true
-	c.k.After(delay, func() {
+	c.sched.After(delay, func() {
 		c.res.UseFn(c.flushHold, c.flushDone)
 	})
 }

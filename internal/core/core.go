@@ -42,6 +42,12 @@ type Config struct {
 	// (internal/cache). The paper's machine had none, so canonical runs
 	// leave it nil and stay bit-identical to the golden digests.
 	Cache *cache.Config
+	// Shards, when >= 2, shards the simulation kernel into that many
+	// conservative lanes (capped at the I/O node count) so same-instant
+	// I/O-node service events execute on parallel OS threads. The merge
+	// is deterministic: traces are bit-identical for every shard count.
+	// 0 or 1 (the default) runs today's single-threaded kernel.
+	Shards int
 }
 
 // Platform is an assembled simulated machine with tracing attached.
@@ -79,6 +85,16 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		fcfg.StripeUnit = cfg.StripeUnit
 	}
 	fcfg.Cache = cfg.Cache
+	if shards := cfg.Shards; shards >= 2 {
+		if shards > fcfg.IONodes {
+			shards = fcfg.IONodes
+		}
+		if la := m.MinLatency(); la > 0 && shards >= 2 {
+			if err := k.ConfigureShards(shards, la); err != nil {
+				return nil, err
+			}
+		}
+	}
 	fs, err := pfs.New(k, fcfg, tr)
 	if err != nil {
 		return nil, err

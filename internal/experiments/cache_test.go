@@ -73,6 +73,46 @@ func TestCacheWhatIfWriteBehindWins(t *testing.T) {
 	}
 }
 
+// TestCacheWhatIfCarbonMonoxide pins the honest carbon-monoxide outcome:
+// the restart-staged reload has no reuse, so caching must not be reported
+// as a win, and the cache-size sensitivity the study probes for must be
+// visible — read-ahead misfetches at 1 MB/node, better accuracy at
+// 32 MB/node. The workload is read-dominated, so no forced-flush stalls.
+func TestCacheWhatIfCarbonMonoxide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size paper workloads skipped in -short mode")
+	}
+	art, err := cacheWhatIf(sharedSuite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(art.Text, "carbon monoxide") {
+		t.Fatalf("artifact text missing the carbon-monoxide table:\n%s", art.Text)
+	}
+	if got, base := art.Measured["co.io_s"], art.Paper["co.io_s"]; got < base {
+		t.Fatalf("CO I/O time %g s below cache-off %g s — the honest negative result moved; update the notes", got, base)
+	}
+
+	variants := cacheVariants()
+	small, err := sharedSuite.CarbonMonoxideCached(variants[3]) // wbra1
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := sharedSuite.CarbonMonoxideCached(variants[4]) // wbra32
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, lt := small.CacheTotals(), large.CacheTotals()
+	if st.ReadAheadAccuracy() >= lt.ReadAheadAccuracy() {
+		t.Fatalf("read-ahead accuracy %.3f at 1 MB not below %.3f at 32 MB — cache-size sensitivity vanished",
+			st.ReadAheadAccuracy(), lt.ReadAheadAccuracy())
+	}
+	if st.ForcedFlushStalls != 0 || lt.ForcedFlushStalls != 0 {
+		t.Fatalf("read-dominated CO reload reported forced-flush stalls (%d / %d)",
+			st.ForcedFlushStalls, lt.ForcedFlushStalls)
+	}
+}
+
 // TestCacheWhatIfRegistered checks the experiment is reachable by id,
 // i.e. `iotables -only cachewhatif` works.
 func TestCacheWhatIfRegistered(t *testing.T) {

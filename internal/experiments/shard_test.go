@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"paragonio/internal/sim"
+)
+
+// TestShardedGoldenDigests re-runs the canonical workloads on sharded
+// kernels and requires the exact golden digests for every shard count —
+// the deterministic-merge contract of the conservative kernel: lane
+// events commit their effects in global (at, seq) order, so the trace a
+// sharded run produces is bit-identical to the single-threaded one.
+//
+// The stage threshold is forced down to 2 so even the small runs push
+// same-instant events through the parallel stage path instead of the
+// inline fallback.
+func TestShardedGoldenDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size paper workloads skipped in -short mode")
+	}
+	old := sim.DefaultStageMin
+	sim.DefaultStageMin = 2
+	defer func() { sim.DefaultStageMin = old }()
+
+	for _, shards := range []int{2, 8} {
+		s := NewSuite(1)
+		s.Shards = shards
+		for _, g := range goldenDigests {
+			res, err := g.run(s)
+			if err != nil {
+				t.Fatalf("shards=%d %s: %v", shards, g.key, err)
+			}
+			if n := res.Trace.Len(); n != g.events {
+				t.Errorf("shards=%d %s: %d events, golden %d", shards, g.key, n, g.events)
+			}
+			if d := res.Trace.Digest(); d != g.digest {
+				t.Errorf("shards=%d %s: digest %#016x, golden %#016x", shards, g.key, d, g.digest)
+			}
+		}
+	}
+
+	// The largest, most contended run at the remaining counts of the
+	// 1/2/4/8/16 acceptance matrix (1 is TestGoldenDigests itself).
+	for _, shards := range []int{4, 16} {
+		s := NewSuite(1)
+		s.Shards = shards
+		res, err := s.CarbonMonoxide()
+		if err != nil {
+			t.Fatalf("shards=%d escat/co/C: %v", shards, err)
+		}
+		if d := res.Trace.Digest(); d != 0x83cf63b5fa1f8c5e {
+			t.Errorf("shards=%d escat/co/C: digest %#016x, golden 0x83cf63b5fa1f8c5e", shards, d)
+		}
+	}
+}

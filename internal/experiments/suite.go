@@ -27,6 +27,11 @@ import (
 // simulation kernel, so results are identical to serial execution.
 type Suite struct {
 	Seed int64
+	// Shards, when >= 2, runs every application on a sharded simulation
+	// kernel with that many conservative lanes (see core.Config.Shards).
+	// Results are bit-identical to the single-threaded kernel for every
+	// value — the golden-digest tests enforce it.
+	Shards int
 
 	mu   sync.Mutex
 	runs map[string]*runSlot
@@ -42,6 +47,11 @@ type runSlot struct {
 // NewSuite creates an empty suite; runs happen lazily.
 func NewSuite(seed int64) *Suite {
 	return &Suite{Seed: seed, runs: make(map[string]*runSlot)}
+}
+
+// cfg returns the platform configuration all suite runs share.
+func (s *Suite) cfg() core.Config {
+	return core.Config{Seed: s.Seed, Shards: s.Shards}
 }
 
 // run returns the cached result for key, executing f on first use.
@@ -75,7 +85,7 @@ func (s *Suite) Ethylene(id string) (*core.Result, error) {
 		return nil, fmt.Errorf("experiments: unknown ESCAT version %q", id)
 	}
 	return s.run("eth/"+id, func() (*core.Result, error) {
-		return escat.Run(escat.Ethylene(), v, s.Seed)
+		return escat.RunOn(s.cfg(), escat.Ethylene(), v)
 	})
 }
 
@@ -98,7 +108,7 @@ func (s *Suite) Progressions() ([]*core.Result, error) {
 		go func() {
 			defer wg.Done()
 			out[i], errs[i] = s.run(key, func() (*core.Result, error) {
-				return escat.Run(escat.Ethylene(), v, s.Seed)
+				return escat.RunOn(s.cfg(), escat.Ethylene(), v)
 			})
 		}()
 	}
@@ -114,7 +124,7 @@ func (s *Suite) Progressions() ([]*core.Result, error) {
 // CarbonMonoxide returns the cached ESCAT carbon-monoxide version C run.
 func (s *Suite) CarbonMonoxide() (*core.Result, error) {
 	return s.run("co/C", func() (*core.Result, error) {
-		return escat.Run(escat.CarbonMonoxide(), escat.VersionCCarbonMonoxide(), s.Seed)
+		return escat.RunOn(s.cfg(), escat.CarbonMonoxide(), escat.VersionCCarbonMonoxide())
 	})
 }
 
@@ -132,7 +142,7 @@ func (s *Suite) Prism(id string) (*core.Result, error) {
 		return nil, fmt.Errorf("experiments: unknown PRISM version %q", id)
 	}
 	return s.run("prism/"+id, func() (*core.Result, error) {
-		return prism.Run(prism.TestProblem(), v, s.Seed)
+		return prism.RunOn(s.cfg(), prism.TestProblem(), v)
 	})
 }
 

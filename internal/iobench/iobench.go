@@ -90,6 +90,9 @@ type Params struct {
 	Seed       int64
 	// Cache, when non-nil, enables the what-if I/O-node buffer cache.
 	Cache *cache.Config
+	// Shards, when >= 2, runs the simulation on a sharded kernel
+	// (core.Config.Shards); results are bit-identical for every value.
+	Shards int
 }
 
 // withDefaults validates and fills defaults.
@@ -168,6 +171,7 @@ func Run(p Params) (*Result, error) {
 		IONodes:    p.IONodes,
 		StripeUnit: p.StripeUnit,
 		Cache:      p.Cache,
+		Shards:     p.Shards,
 	}
 	res, err := core.Run(cfg, "iobench", p.Kernel.String(),
 		func(m *workload.Machine, seed int64) error {

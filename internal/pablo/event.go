@@ -101,13 +101,23 @@ func (discard) Record(Event) {}
 // by construction.
 type Trace struct {
 	events []Event
+
+	// dig/hashed carry the incremental FNV-1a stream digest: events
+	// [0, hashed) are already folded in (see digest.go).
+	dig    digestState
+	hashed int
 }
 
 // NewTrace returns an empty trace.
 func NewTrace() *Trace { return &Trace{} }
 
-// Record implements Tracer.
-func (t *Trace) Record(ev Event) { t.events = append(t.events, ev) }
+// Record implements Tracer. The stream digest is maintained
+// incrementally, so recording is O(1) amortized and Digest never
+// re-walks the trace.
+func (t *Trace) Record(ev Event) {
+	t.events = append(t.events, ev)
+	t.catchUp()
+}
 
 // Len returns the number of recorded events.
 func (t *Trace) Len() int { return len(t.events) }

@@ -46,10 +46,15 @@ func DefaultConfig(m *mesh.Mesh) Config {
 }
 
 // ioNode is one I/O service node: a FIFO server fronting a RAID-3 array,
-// optionally through a buffer cache.
+// optionally through a buffer cache. Each I/O node is pinned to a shard
+// lane (sh): its service events — mesh arrival, FIFO grant, disk pricing,
+// cache flushes — are scheduled through that lane, so on a sharded kernel
+// distinct I/O nodes' same-instant events execute in parallel.
 type ioNode struct {
 	idx   int
+	sh    *sim.Shard
 	res   *sim.Resource
+	park  string // precomputed Suspend reason (avoids a concat per request)
 	array *disk.Array
 	cache *cache.Cache // nil when caching is disabled
 }
@@ -135,11 +140,14 @@ func New(k *sim.Kernel, cfg Config, tracer pablo.Tracer) (*FileSystem, error) {
 		tracer: tracer,
 	}
 	for i := 0; i < cfg.IONodes; i++ {
+		sh := k.Lane(i)
 		n := &ioNode{
 			idx:   i,
-			res:   sim.NewResource(k, fmt.Sprintf("ionode-%d", i), 1),
+			sh:    sh,
+			res:   sim.NewResourceOn(sh, fmt.Sprintf("ionode-%d", i), 1),
 			array: disk.MustNewArray(cfg.Disk),
 		}
+		n.park = "pfs: i/o node " + n.res.Name()
 		if cfg.Cache != nil {
 			c, err := cache.New(k, n.res, n.array, *cfg.Cache)
 			if err != nil {
@@ -344,39 +352,52 @@ func (fs *FileSystem) xfer(p *sim.Proc, node int, f *file, off, size int64, writ
 	}
 }
 
-// serveIONode moves one request's chunks through a single I/O node:
-// mesh transfer of the payload, then FIFO disk service.
+// serveIONode moves one request's chunks through a single I/O node —
+// mesh transfer of the payload, then FIFO disk service — blocking p
+// until the node finishes. The interaction runs on the I/O node's shard
+// lane: the arrival event and the disk-service hold are lane events
+// (parallelizable on a sharded kernel), and the client suspends until
+// the release continuation wakes it inline. Pricing happens at grant
+// time on the lane and the client continuation nests inside the release
+// event's dispatch position, so every (at, seq) allocation — and hence
+// the trace — is identical to the former process-shaped
+// Acquire/Wait/Release sequence.
 func (fs *FileSystem) serveIONode(p *sim.Proc, node int, f *file, io int, chunks []chunk, write bool) {
 	var bytes int64
 	for _, c := range chunks {
 		bytes += c.size
 	}
-	p.Wait(fs.cfg.Mesh.TransferToIONode(node, io, bytes))
 	n := fs.ios[io]
-	n.res.Acquire(p)
-	var d time.Duration
-	for _, c := range chunks {
-		d += n.service(f.name, c, write)
-	}
-	p.Wait(d)
-	n.res.Release(p)
+	n.sh.After(fs.cfg.Mesh.TransferToIONode(node, io, bytes), func() {
+		n.res.UseFn(func() sim.Time {
+			var d time.Duration
+			for _, c := range chunks {
+				d += n.service(f.name, c, write)
+			}
+			return d
+		}, func() { n.sh.Wake(p) })
+	})
+	p.Suspend(n.park)
 }
 
-// serveIONodeFn is the callback-shaped fast path of serveIONode: the same
-// event sequence with no helper goroutine, so fan-out requests cost zero
-// goroutine spawns and channel handoffs. The initial zero-delay hop
-// mirrors the start event a spawned helper process would get, and disk
-// service is priced at grant time inside UseFn, so (at, seq) orderings,
-// disk head movement, and therefore traces are bit-identical with the
-// process path.
+// serveIONodeFn is the callback-shaped variant of serveIONode used by the
+// striped-transfer fan-out: the same event sequence with no helper
+// goroutine, so fan-out requests cost zero goroutine spawns and channel
+// handoffs. The initial zero-delay hop mirrors the start event a spawned
+// helper process would get, and disk service is priced at grant time
+// inside UseFn. The completion continuation crosses back to the compute
+// side through Shard.Deferred (a Shard.Call at commit time on a sharded
+// kernel, the bare callback otherwise) so it never runs concurrently
+// with other lanes.
 func (fs *FileSystem) serveIONodeFn(node int, f *file, io int, chunks []chunk, write bool, then func()) {
 	var bytes int64
 	for _, c := range chunks {
 		bytes += c.size
 	}
-	fs.k.After(0, func() {
-		n := fs.ios[io]
-		fs.k.After(fs.cfg.Mesh.TransferToIONode(node, io, bytes), func() {
+	n := fs.ios[io]
+	then = n.sh.Deferred(then)
+	n.sh.After(0, func() {
+		n.sh.After(fs.cfg.Mesh.TransferToIONode(node, io, bytes), func() {
 			n.res.UseFn(func() sim.Time {
 				var d time.Duration
 				for _, c := range chunks {

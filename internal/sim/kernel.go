@@ -39,7 +39,11 @@ type Time = time.Duration
 const maxRetainedEvents = 4096
 
 // event is a scheduled occurrence: either the resumption of a parked
-// process or an inline callback.
+// process or an inline callback. An event does not carry its lane: on a
+// sharded kernel lane identity is the queue the event sits in (k.queue
+// is lane 0, k.laneQ[i] is lane i+1), and the merge path tags popped
+// events with laneEvent (see shard.go). Keeping the struct at five
+// words matters — every heap sift copies it.
 type event struct {
 	at   Time
 	seq  uint64
@@ -68,14 +72,34 @@ type Kernel struct {
 	// (i.e. waiting on a synchronization primitive), for deadlock
 	// reporting.
 	blocked map[*Proc]string
+
+	// Sharded-mode state (see shard.go). All fields stay zero on an
+	// unsharded kernel except lane0, the handle every Lane() call
+	// resolves to.
+	lane0     *Shard
+	lanes     []*Shard    // shard lane handles; index i is lane i+1
+	laneQ     []eventHeap // per-shard-lane queues, parallel to lanes
+	lookahead Time
+	inStage   bool // a parallel stage is executing; unrouted schedules panic
+	stageMin  int
+	observer  func(at Time, seq uint64, lane int)
+
+	// Scratch reused across sharded instants.
+	merged       []laneEvent
+	bufs         []stageBuf
+	groups       [][]int
+	activeLanes  []int32
+	panicScratch []stagePanic
 }
 
 // NewKernel returns a kernel with the clock at zero and no pending events.
 func NewKernel() *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		parked:  make(chan struct{}),
 		blocked: make(map[*Proc]string),
 	}
+	k.lane0 = &Shard{k: k}
+	return k
 }
 
 // Now returns the current virtual time.
@@ -87,10 +111,13 @@ func (k *Kernel) EventsProcessed() uint64 { return k.processed }
 // LiveProcs returns the number of spawned processes that have not finished.
 func (k *Kernel) LiveProcs() int { return k.live }
 
-// schedule enqueues an event at the given absolute time.
+// schedule enqueues an event at the given absolute time on lane 0.
 func (k *Kernel) schedule(at Time, p *Proc, fn func()) {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, k.now))
+	}
+	if k.inStage {
+		panic("sim: unrouted schedule from inside a parallel stage (use the lane's Shard handle)")
 	}
 	k.seq++
 	k.queue.push(event{at: at, seq: k.seq, proc: p, fn: fn})
@@ -179,8 +206,18 @@ func (k *Kernel) deadlockError() *DeadlockError {
 // *DeadlockError if any spawned process is still blocked when the queue
 // drains, and nil otherwise.
 func (k *Kernel) Run() error {
-	for k.queue.len() > 0 {
-		k.runBatch(k.queue.min().at)
+	if len(k.lanes) == 0 {
+		for k.queue.len() > 0 {
+			k.runBatch(k.queue.min().at)
+		}
+	} else {
+		for {
+			at, ok := k.minNext()
+			if !ok {
+				break
+			}
+			k.runBatchSharded(at)
+		}
 	}
 	k.trim()
 	if k.live > 0 {
@@ -193,10 +230,23 @@ func (k *Kernel) Run() error {
 // leaving later events queued. It returns the same deadlock diagnosis as
 // Run when the queue drains early.
 func (k *Kernel) RunUntil(deadline Time) error {
-	for k.queue.len() > 0 && k.queue.min().at <= deadline {
-		k.runBatch(k.queue.min().at)
+	if len(k.lanes) == 0 {
+		for k.queue.len() > 0 && k.queue.min().at <= deadline {
+			k.runBatch(k.queue.min().at)
+		}
+		if k.queue.len() == 0 && k.live > 0 {
+			return k.deadlockError()
+		}
+		return nil
 	}
-	if k.queue.len() == 0 && k.live > 0 {
+	for {
+		at, ok := k.minNext()
+		if !ok || at > deadline {
+			break
+		}
+		k.runBatchSharded(at)
+	}
+	if _, ok := k.minNext(); !ok && k.live > 0 {
 		return k.deadlockError()
 	}
 	return nil
@@ -218,6 +268,9 @@ func (k *Kernel) runBatch(at Time) {
 	k.now = at
 	for i := range batch {
 		k.processed++
+		if k.observer != nil {
+			k.observer(batch[i].at, batch[i].seq, 0)
+		}
 		if p := batch[i].proc; p != nil {
 			k.dispatch(p)
 		} else if fn := batch[i].fn; fn != nil {
@@ -236,6 +289,17 @@ func (k *Kernel) trim() {
 	if cap(k.batch) > maxRetainedEvents {
 		k.batch = nil
 	}
+	for i := range k.laneQ {
+		if cap(k.laneQ[i].ev) > maxRetainedEvents {
+			k.laneQ[i].ev = nil
+		}
+	}
+	if cap(k.merged) > maxRetainedEvents {
+		k.merged = nil
+	}
+	if cap(k.bufs) > maxRetainedEvents {
+		k.bufs = nil
+	}
 }
 
 // dispatch hands control to p and waits for it to yield back.
@@ -249,4 +313,10 @@ func (k *Kernel) dispatch(p *Proc) {
 // primitives releasing a waiter).
 func (k *Kernel) wake(p *Proc) {
 	k.schedule(k.now, p, nil)
+}
+
+// Resume schedules a process parked with Proc.Suspend to continue at the
+// current instant. From a shard-lane handler use Shard.Resume instead.
+func (k *Kernel) Resume(p *Proc) {
+	k.wake(p)
 }

@@ -48,6 +48,16 @@ func (p *Proc) WaitUntil(t Time) {
 	p.park("")
 }
 
+// Suspend parks the process until another event resumes it via
+// Shard.Resume or Kernel.Resume. reason appears in deadlock diagnostics
+// should the resume never arrive.
+func (p *Proc) Suspend(reason string) {
+	if reason == "" {
+		reason = "suspended"
+	}
+	p.park(reason)
+}
+
 // park yields control to the kernel until some event resumes this process.
 // reason, if non-empty, records why the process is blocked (for deadlock
 // diagnostics); parks with a pending wake event pass "".

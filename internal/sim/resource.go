@@ -15,7 +15,8 @@ import "fmt"
 //
 // Resource collects utilization and queueing statistics for analysis.
 type Resource struct {
-	k        *Kernel
+	sh       *Shard
+	k        *Kernel // == sh.k, cached to keep the hot path one deref deep
 	name     string
 	capacity int
 	busy     int
@@ -40,19 +41,34 @@ type resWaiter struct {
 }
 
 // NewResource creates a resource with the given capacity (number of
-// concurrent holders). Capacity must be >= 1.
+// concurrent holders) on the kernel's compute lane. Capacity must be
+// >= 1.
 func NewResource(k *Kernel, name string, capacity int) *Resource {
+	return NewResourceOn(k.lane0, name, capacity)
+}
+
+// NewResourceOn creates a resource bound to a shard lane: its release
+// events and callback-shaped grants are scheduled through sh, so on a
+// sharded kernel they dispatch on that lane — possibly in parallel with
+// other lanes. The resource's state must then only be touched from that
+// lane (or from lane-0 events, which never overlap stages). Process
+// wakeups always route to the compute lane.
+func NewResourceOn(sh *Shard, name string, capacity int) *Resource {
 	if capacity < 1 {
 		panic("sim: resource capacity must be >= 1")
 	}
 	return &Resource{
-		k:         k,
+		sh:        sh,
+		k:         sh.k,
 		name:      name,
 		capacity:  capacity,
 		enqueueAt: make(map[*Proc]Time),
 		holdSince: make(map[*Proc]Time),
 	}
 }
+
+// Lane returns the shard handle the resource schedules through.
+func (r *Resource) Lane() *Shard { return r.sh }
 
 // Name returns the resource's name.
 func (r *Resource) Name() string { return r.name }
@@ -138,7 +154,7 @@ func (r *Resource) holdFn(hold func() Time, then func()) {
 	if d < 0 {
 		panic("sim: negative hold on " + r.name)
 	}
-	r.k.schedule(r.k.now+d, nil, func() {
+	r.sh.schedule(r.k.now+d, nil, func() {
 		r.totalHold += r.k.now - since
 		r.busy--
 		r.wakeNext()
@@ -172,11 +188,11 @@ func (r *Resource) wakeNext() {
 	next := r.waiters.pop()
 	if next.p != nil {
 		r.grant(next.p)
-		r.k.wake(next.p)
+		r.sh.Resume(next.p)
 		return
 	}
 	r.grantFn(next.enq)
-	r.k.schedule(r.k.now, nil, func() { r.holdFn(next.hold, next.then) })
+	r.sh.schedule(r.k.now, nil, func() { r.holdFn(next.hold, next.then) })
 }
 
 // Use acquires the resource, holds it for d of virtual time, and releases

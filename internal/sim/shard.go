@@ -1,0 +1,466 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Conservative intra-run sharding.
+//
+// A sharded kernel partitions its event queue into lanes: lane 0 is the
+// compute-side logical process (all process resumptions and client-side
+// callbacks), lanes 1..n belong to shard LPs whose callback events touch
+// only state confined to that lane (an I/O node's FIFO server, disk array,
+// and cache). Cross-lane interactions must traverse the mesh, whose
+// minimum message latency — the lookahead passed to ConfigureShards — is
+// strictly positive; therefore every event queued for one instant was
+// scheduled at an earlier instant, and shard-lane events of a single
+// instant are causally closed: none can affect another lane at the same
+// instant. That is the classic conservative (Chandy-Misra style) safe
+// window, specialized to "one instant at a time".
+//
+// Within an instant the kernel merges the per-lane queues in global
+// (at, seq) order and walks the merged batch: lane-0 events dispatch
+// sequentially exactly as in the unsharded kernel, while maximal runs of
+// shard-lane events form a stage that executes in parallel — one worker
+// per lane, events of one lane in seq order. While a stage runs, every
+// side effect a handler produces (schedule, After, proc wakeup, deferred
+// Call) is appended to a per-event buffer instead of reaching the kernel;
+// after the stage joins, the buffers are committed in the events'
+// dispatch order. Sequence numbers are therefore allocated in exactly the
+// order the single-threaded kernel would allocate them, which makes the
+// sharded run's event sequence — and hence its traces — bit-identical to
+// the unsharded run by construction, for every lane count.
+//
+// Handlers running inside a stage must confine themselves to their lane's
+// state; effects on other lanes go through Shard.Call, which runs the
+// closure at commit time on the dispatcher goroutine. Unrouted access to
+// the kernel (Kernel.After, Spawn, mailbox sends) from a stage worker
+// panics via the inStage guard.
+
+// stageEntry is one deferred effect captured while a shard lane executes
+// inside a parallel stage: a schedule (at, lane, proc/fn) or a deferred
+// cross-lane call.
+type stageEntry struct {
+	at   Time
+	lane int32
+	proc *Proc
+	fn   func()
+	call bool
+}
+
+// stageBuf collects the deferred effects of one event dispatched in a
+// parallel stage.
+type stageBuf struct {
+	entries []stageEntry
+}
+
+// stagePanic records a panic raised by a stage worker, tagged with the
+// batch index of the event that raised it so re-panics are deterministic.
+type stagePanic struct {
+	idx int
+	val any
+}
+
+// Shard is the scheduling handle of one lane. Lane-confined subsystems
+// (the PFS I/O-node path, the cache flusher) route their timers and
+// continuations through their Shard so the kernel can tag the resulting
+// events with the lane and, during a parallel stage, defer them into the
+// running event's buffer. On an unsharded kernel every handle is the
+// lane-0 handle and all methods degenerate to the direct kernel calls.
+type Shard struct {
+	k    *Kernel
+	lane int32
+
+	// bufs/cur route effects into per-event buffers while this lane runs
+	// inside a parallel stage; bufs is nil in direct mode. Only the
+	// lane's stage worker touches these.
+	bufs []stageBuf
+	cur  int
+}
+
+// Kernel returns the kernel this shard belongs to.
+func (sh *Shard) Kernel() *Kernel { return sh.k }
+
+// Lane returns the lane index (0 = compute lane).
+func (sh *Shard) Lane() int { return int(sh.lane) }
+
+// Now returns the current virtual time.
+func (sh *Shard) Now() Time { return sh.k.now }
+
+// After schedules fn on this lane at Now()+d.
+func (sh *Shard) After(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	sh.schedule(sh.k.now+d, nil, fn)
+}
+
+// Resume schedules parked process p to continue at the current instant.
+// It is the routed equivalent of the wakeup a synchronization primitive
+// issues, safe to call from a stage handler.
+func (sh *Shard) Resume(p *Proc) {
+	sh.schedule(sh.k.now, p, nil)
+}
+
+// Wake resumes a process parked with Proc.Suspend inline, within the
+// current event's dispatch position: immediately in direct mode, or at
+// commit time when called from a stage worker. Unlike Resume it adds no
+// event — the process continuation nests inside the waking event exactly
+// as if the process itself had been executing it, which is what keeps a
+// callback-shaped completion bit-identical to the process-shaped code it
+// replaces. Both modes are allocation-free.
+func (sh *Shard) Wake(p *Proc) {
+	if sh.bufs == nil {
+		sh.k.dispatch(p)
+		return
+	}
+	b := &sh.bufs[sh.cur]
+	b.entries = append(b.entries, stageEntry{proc: p, call: true})
+}
+
+// Call runs fn on the dispatcher goroutine: immediately when the lane is
+// in direct mode, or at commit time — in this event's dispatch position —
+// when the lane is executing inside a parallel stage. Cross-lane
+// continuations (mailbox sends, bookkeeping on shared state) must go
+// through Call so they never run concurrently with other lanes.
+func (sh *Shard) Call(fn func()) {
+	if sh.bufs == nil {
+		fn()
+		return
+	}
+	b := &sh.bufs[sh.cur]
+	b.entries = append(b.entries, stageEntry{fn: fn, call: true})
+}
+
+// Deferred returns a callback equivalent to func() { sh.Call(fn) }. On an
+// unsharded kernel it returns fn itself, so hot paths that hand a
+// completion to a lane-confined subsystem (the PFS striped fan-out) pay
+// no wrapper allocation unless sharding is actually on.
+func (sh *Shard) Deferred(fn func()) func() {
+	if len(sh.k.lanes) == 0 {
+		return fn
+	}
+	return func() { sh.Call(fn) }
+}
+
+// schedule enqueues an event on this lane (lane 0 for process wakeups —
+// processes always dispatch on the compute lane), deferring into the
+// stage buffer when a stage is running. The compute-lane handle takes
+// the kernel's direct path unconditionally: stages execute shard lanes
+// only, so lane 0 never defers — this keeps the unsharded kernel's
+// schedule cost identical to the pre-sharding kernel.
+func (sh *Shard) schedule(at Time, p *Proc, fn func()) {
+	if sh.lane == 0 {
+		sh.k.schedule(at, p, fn)
+		return
+	}
+	lane := sh.lane
+	if p != nil {
+		lane = 0
+	}
+	if sh.bufs == nil {
+		sh.k.scheduleLane(lane, at, p, fn)
+		return
+	}
+	if at < sh.k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, sh.k.now))
+	}
+	b := &sh.bufs[sh.cur]
+	b.entries = append(b.entries, stageEntry{at: at, lane: lane, proc: p, fn: fn})
+}
+
+// defaultStageMin is the smallest multi-lane run worth fanning out to
+// worker goroutines; below it the synchronization overhead exceeds the
+// win and the run dispatches inline.
+const defaultStageMin = 8
+
+// DefaultStageMin is the stage-length threshold newly sharded kernels
+// adopt (see SetStageMin). Determinism and race tests lower it to force
+// the parallel path onto workloads whose instants would otherwise
+// dispatch inline; results must not depend on it.
+var DefaultStageMin = defaultStageMin
+
+// ConfigureShards partitions the kernel into lanes shard lanes (plus the
+// implicit compute lane 0) synchronized conservatively with the given
+// lookahead — the minimum virtual latency of any cross-lane interaction,
+// typically mesh.MinLatency(). It must be called on a fresh kernel,
+// before any event is scheduled. lanes < 2 leaves the kernel unsharded;
+// lookahead must be positive for any actual sharding, since a zero
+// lookahead would allow same-instant cross-lane causality and break the
+// safe-window argument.
+func (k *Kernel) ConfigureShards(lanes int, lookahead Time) error {
+	if lanes < 2 {
+		return nil
+	}
+	if lookahead <= 0 {
+		return fmt.Errorf("sim: sharding requires positive lookahead, got %v", lookahead)
+	}
+	if k.seq != 0 || k.processed != 0 {
+		return fmt.Errorf("sim: ConfigureShards called after events were scheduled")
+	}
+	if k.lanes != nil {
+		return fmt.Errorf("sim: shards already configured")
+	}
+	k.lookahead = lookahead
+	k.lanes = make([]*Shard, lanes)
+	k.laneQ = make([]eventHeap, lanes)
+	for i := range k.lanes {
+		k.lanes[i] = &Shard{k: k, lane: int32(i + 1)}
+	}
+	k.stageMin = DefaultStageMin
+	return nil
+}
+
+// ShardCount returns the number of shard lanes (0 when unsharded).
+func (k *Kernel) ShardCount() int { return len(k.lanes) }
+
+// Lookahead returns the conservative lookahead (0 when unsharded).
+func (k *Kernel) Lookahead() Time { return k.lookahead }
+
+// Lane returns the scheduling handle for shard lane i (mod the lane
+// count). On an unsharded kernel every index maps to the compute lane, so
+// lane-confined subsystems can bind a handle unconditionally.
+func (k *Kernel) Lane(i int) *Shard {
+	if len(k.lanes) == 0 {
+		return k.lane0
+	}
+	return k.lanes[i%len(k.lanes)]
+}
+
+// SetStageMin overrides the minimum multi-lane run length that fans out
+// to worker goroutines. Tests force it to 2 to exercise the parallel
+// path on small workloads; 0 or negative restores the default.
+func (k *Kernel) SetStageMin(n int) {
+	if n <= 0 {
+		n = defaultStageMin
+	}
+	k.stageMin = n
+}
+
+// SetObserver installs a hook called for every dispatched event, in
+// dispatch order, with its (at, seq, lane). Property tests use it to
+// compare a sharded run's dispatch sequence against the single-threaded
+// oracle. A nil fn removes the hook.
+func (k *Kernel) SetObserver(fn func(at Time, seq uint64, lane int)) {
+	k.observer = fn
+}
+
+// laneEvent is an event tagged with the lane whose queue it was popped
+// from — only the sharded merge path materializes these; queued events
+// stay five words.
+type laneEvent struct {
+	event
+	lp int32
+}
+
+// scheduleLane enqueues an event on the given lane. Process wakeups are
+// forced onto lane 0: processes run under the dispatcher's handoff
+// protocol and never inside a stage.
+func (k *Kernel) scheduleLane(lane int32, at Time, p *Proc, fn func()) {
+	if p != nil {
+		lane = 0
+	}
+	if lane == 0 {
+		k.schedule(at, p, fn)
+		return
+	}
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, k.now))
+	}
+	if k.inStage {
+		panic("sim: unrouted schedule from inside a parallel stage (use the lane's Shard handle)")
+	}
+	k.seq++
+	k.laneQ[lane-1].push(event{at: at, seq: k.seq, proc: p, fn: fn})
+}
+
+// minNext returns the earliest pending timestamp across all lanes.
+func (k *Kernel) minNext() (Time, bool) {
+	var at Time
+	ok := false
+	if k.queue.len() > 0 {
+		at, ok = k.queue.min().at, true
+	}
+	for i := range k.laneQ {
+		if k.laneQ[i].len() > 0 && (!ok || k.laneQ[i].min().at < at) {
+			at, ok = k.laneQ[i].min().at, true
+		}
+	}
+	return at, ok
+}
+
+// runBatchSharded advances the clock to at and dispatches every event
+// already queued for that instant across all lanes, in global (at, seq)
+// order. Maximal runs of shard-lane events execute as parallel stages;
+// lane-0 events dispatch sequentially between them.
+func (k *Kernel) runBatchSharded(at Time) {
+	m := k.merged[:0]
+	sources := 0
+	if k.queue.len() > 0 && k.queue.min().at == at {
+		sources++
+		for k.queue.len() > 0 && k.queue.min().at == at {
+			m = append(m, laneEvent{event: k.queue.pop()})
+		}
+	}
+	for i := range k.laneQ {
+		if k.laneQ[i].len() > 0 && k.laneQ[i].min().at == at {
+			sources++
+			for k.laneQ[i].len() > 0 && k.laneQ[i].min().at == at {
+				m = append(m, laneEvent{event: k.laneQ[i].pop(), lp: int32(i + 1)})
+			}
+		}
+	}
+	if sources > 1 {
+		// Per-lane pops are already seq-sorted; restore the global order.
+		sort.Slice(m, func(i, j int) bool { return m[i].seq < m[j].seq })
+	}
+	k.now = at
+	i := 0
+	for i < len(m) {
+		if m[i].lp == 0 {
+			k.processed++
+			if k.observer != nil {
+				k.observer(m[i].at, m[i].seq, 0)
+			}
+			if p := m[i].proc; p != nil {
+				k.dispatch(p)
+			} else if fn := m[i].fn; fn != nil {
+				fn()
+			}
+			m[i] = laneEvent{}
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(m) && m[j].lp != 0 {
+			j++
+		}
+		k.runStage(m[i:j])
+		for x := i; x < j; x++ {
+			m[x] = laneEvent{}
+		}
+		i = j
+	}
+	k.merged = m[:0]
+}
+
+// runStage dispatches one maximal run of shard-lane events. Single-lane
+// or short runs execute inline (identical semantics, no synchronization);
+// otherwise each lane's events run on a worker goroutine with side
+// effects deferred, and the buffers commit in dispatch order afterwards.
+func (k *Kernel) runStage(run []laneEvent) {
+	if k.observer != nil {
+		for i := range run {
+			k.observer(run[i].at, run[i].seq, int(run[i].lp))
+		}
+	}
+	multi := false
+	for i := 1; i < len(run); i++ {
+		if run[i].lp != run[0].lp {
+			multi = true
+			break
+		}
+	}
+	if !multi || len(run) < k.stageMin {
+		for i := range run {
+			k.processed++
+			run[i].fn()
+		}
+		return
+	}
+
+	// Group event indices by lane, preserving per-lane seq order.
+	if cap(k.groups) < len(k.lanes)+1 {
+		k.groups = make([][]int, len(k.lanes)+1)
+	}
+	groups := k.groups[:len(k.lanes)+1]
+	active := k.activeLanes[:0]
+	for i := range run {
+		lp := run[i].lp
+		if len(groups[lp]) == 0 {
+			active = append(active, lp)
+		}
+		groups[lp] = append(groups[lp], i)
+	}
+
+	// Per-event deferred-effect buffers, reused across stages.
+	if cap(k.bufs) < len(run) {
+		k.bufs = make([]stageBuf, len(run))
+	}
+	bufs := k.bufs[:len(run)]
+
+	panics := k.panicScratch[:0]
+	var panicMu sync.Mutex
+
+	k.inStage = true
+	var wg sync.WaitGroup
+	for _, lp := range active {
+		sh := k.lanes[lp-1]
+		idxs := groups[lp]
+		wg.Add(1)
+		go func(sh *Shard, idxs []int) {
+			defer wg.Done()
+			sh.bufs = bufs
+			for _, ix := range idxs {
+				sh.cur = ix
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							panicMu.Lock()
+							panics = append(panics, stagePanic{idx: ix, val: v})
+							panicMu.Unlock()
+						}
+					}()
+					run[ix].fn()
+				}()
+			}
+			sh.bufs = nil
+		}(sh, idxs)
+	}
+	wg.Wait()
+	k.inStage = false
+	k.processed += uint64(len(run))
+	for _, lp := range active {
+		groups[lp] = groups[lp][:0]
+		if cap(groups[lp]) > maxRetainedEvents {
+			groups[lp] = nil
+		}
+	}
+	k.activeLanes = active[:0]
+
+	if len(panics) > 0 {
+		// Re-panic deterministically: the failure the sequential kernel
+		// would have hit first.
+		first := panics[0]
+		for _, p := range panics[1:] {
+			if p.idx < first.idx {
+				first = p
+			}
+		}
+		k.panicScratch = nil
+		panic(first.val)
+	}
+	k.panicScratch = panics[:0]
+
+	// Commit deferred effects in dispatch order — this reproduces the
+	// sequence-number allocation of a sequential dispatch exactly.
+	for i := range bufs {
+		entries := bufs[i].entries
+		for j := range entries {
+			e := &entries[j]
+			if e.call {
+				if e.proc != nil { // deferred Wake: continue inline
+					k.dispatch(e.proc)
+				} else {
+					e.fn()
+				}
+			} else {
+				k.scheduleLane(e.lane, e.at, e.proc, e.fn)
+			}
+			entries[j] = stageEntry{}
+		}
+		bufs[i].entries = entries[:0]
+	}
+}

@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// shardReq is one precomputed client request of the randomized workload.
+// All randomness is drawn up front so handlers stay deterministic and
+// lane-confined no matter how stages interleave.
+type shardReq struct {
+	think   Time
+	latency Time
+	hold    Time
+	lane    int
+	lane2   int // second lane for fan-out requests, -1 otherwise
+	barrier bool
+}
+
+// buildShardWorkload precomputes a mixed process/callback workload:
+// clients issuing FIFO requests to per-lane resources (PFS-shaped:
+// After(latency) -> UseFn -> Wake/Call), periodic barrier alignment so
+// arrivals collide at shared instants, and self-rescheduling per-lane
+// timers (flusher-shaped).
+func buildShardWorkload(seed int64, lanes, clients int) [][]shardReq {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([][]shardReq, clients)
+	quantum := 5 * time.Microsecond
+	for c := range reqs {
+		n := 20 + rng.Intn(30)
+		list := make([]shardReq, n)
+		for i := range list {
+			r := shardReq{
+				think:   time.Duration(rng.Intn(4)) * quantum,
+				latency: time.Duration(1+rng.Intn(3)) * quantum,
+				hold:    time.Duration(rng.Intn(20)) * time.Microsecond,
+				lane:    rng.Intn(lanes),
+				lane2:   -1,
+				barrier: rng.Intn(8) == 0,
+			}
+			if rng.Intn(4) == 0 {
+				r.lane2 = rng.Intn(lanes)
+			}
+			list[i] = r
+		}
+		reqs[c] = list
+	}
+	return reqs
+}
+
+// runShardWorkload executes the precomputed workload on a fresh kernel —
+// sharded or not — and returns the dispatched (at, seq) sequence, the
+// final clock, and the processed-event count.
+func runShardWorkload(t *testing.T, reqs [][]shardReq, lanes int, shard bool) ([][2]uint64, Time, uint64) {
+	t.Helper()
+	k := NewKernel()
+	lookahead := time.Microsecond
+	if shard {
+		if err := k.ConfigureShards(lanes, lookahead); err != nil {
+			t.Fatalf("ConfigureShards: %v", err)
+		}
+		k.SetStageMin(2)
+	}
+	var rec [][2]uint64
+	k.SetObserver(func(at Time, seq uint64, lane int) {
+		rec = append(rec, [2]uint64{uint64(at), seq})
+	})
+	res := make([]*Resource, lanes)
+	for i := range res {
+		res[i] = NewResourceOn(k.Lane(i), fmt.Sprintf("lane-res-%d", i), 1)
+	}
+	// Flusher-shaped self-rescheduling timers, one per lane.
+	for i := 0; i < lanes; i++ {
+		sh := k.Lane(i)
+		remaining := 40
+		var tick func()
+		tick = func() {
+			if remaining > 0 {
+				remaining--
+				sh.After(7*time.Microsecond, tick)
+			}
+		}
+		sh.After(lookahead, tick)
+	}
+	bar := NewBarrier(k, "align", len(reqs))
+	barriers := 0
+	for _, list := range reqs {
+		for _, r := range list {
+			if r.barrier {
+				barriers++
+				break
+			}
+		}
+	}
+	_ = barriers
+	for c := range reqs {
+		list := reqs[c]
+		k.Spawn(fmt.Sprintf("client-%d", c), func(p *Proc) {
+			for _, r := range list {
+				p.Wait(r.think)
+				sh := k.Lane(r.lane)
+				if r.lane2 >= 0 {
+					// Fan-out: a second lane serves in parallel; the
+					// completion crosses back through Call to a mailbox.
+					mb := NewMailbox(k, "join")
+					sh2 := k.Lane(r.lane2)
+					r2 := res[r.lane2]
+					hold2 := r.hold / 2
+					sh2.After(r.latency, func() {
+						r2.UseFn(func() Time { return hold2 }, func() { sh2.Call(func() { mb.Send(1) }) })
+					})
+					rr := res[r.lane]
+					hold := r.hold
+					sh.After(r.latency, func() {
+						rr.UseFn(func() Time { return hold }, func() { sh.Wake(p) })
+					})
+					p.Suspend("request")
+					mb.Recv(p)
+					continue
+				}
+				rr := res[r.lane]
+				hold := r.hold
+				sh.After(r.latency, func() {
+					rr.UseFn(func() Time { return hold }, func() { sh.Wake(p) })
+				})
+				p.Suspend("request")
+			}
+			// Every client re-aligns at the end of its run so barrier
+			// release storms also cross the sharded dispatch path.
+			bar.Await(p)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run (shard=%v): %v", shard, err)
+	}
+	return rec, k.Now(), k.EventsProcessed()
+}
+
+// TestShardedDispatchMatchesOracle is the randomized property test: for
+// mixed process/callback workloads and 2-16 shards, the sharded kernel
+// must dispatch exactly the (at, seq) sequence of the single-threaded
+// oracle, end at the same virtual time, and process the same event count.
+func TestShardedDispatchMatchesOracle(t *testing.T) {
+	for _, lanes := range []int{2, 3, 4, 8, 16} {
+		for seed := int64(1); seed <= 3; seed++ {
+			reqs := buildShardWorkload(seed, lanes, 8)
+			oracle, oEnd, oN := runShardWorkload(t, reqs, lanes, false)
+			got, gEnd, gN := runShardWorkload(t, reqs, lanes, true)
+			if gEnd != oEnd {
+				t.Fatalf("lanes=%d seed=%d: end %v, oracle %v", lanes, seed, gEnd, oEnd)
+			}
+			if gN != oN {
+				t.Fatalf("lanes=%d seed=%d: %d events, oracle %d", lanes, seed, gN, oN)
+			}
+			if len(got) != len(oracle) {
+				t.Fatalf("lanes=%d seed=%d: %d dispatches, oracle %d", lanes, seed, len(got), len(oracle))
+			}
+			for i := range got {
+				if got[i] != oracle[i] {
+					t.Fatalf("lanes=%d seed=%d: dispatch %d is (at=%d, seq=%d), oracle (at=%d, seq=%d)",
+						lanes, seed, i, got[i][0], got[i][1], oracle[i][0], oracle[i][1])
+				}
+			}
+		}
+	}
+}
+
+// TestConfigureShardsValidation pins the preconditions: positive
+// lookahead, fresh kernel, single configuration; lanes < 2 is a no-op.
+func TestConfigureShardsValidation(t *testing.T) {
+	k := NewKernel()
+	if err := k.ConfigureShards(1, 0); err != nil {
+		t.Fatalf("lanes<2 must be a no-op, got %v", err)
+	}
+	if k.ShardCount() != 0 {
+		t.Fatalf("lanes<2 configured %d lanes", k.ShardCount())
+	}
+	if err := k.ConfigureShards(4, 0); err == nil {
+		t.Fatal("zero lookahead must be rejected")
+	}
+	k.After(time.Millisecond, func() {})
+	if err := k.ConfigureShards(4, time.Microsecond); err == nil {
+		t.Fatal("configuring after events are scheduled must be rejected")
+	}
+
+	k2 := NewKernel()
+	if err := k2.ConfigureShards(4, time.Microsecond); err != nil {
+		t.Fatalf("ConfigureShards: %v", err)
+	}
+	if err := k2.ConfigureShards(4, time.Microsecond); err == nil {
+		t.Fatal("double configuration must be rejected")
+	}
+	if k2.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d, want 4", k2.ShardCount())
+	}
+	if k2.Lookahead() != time.Microsecond {
+		t.Fatalf("Lookahead = %v, want 1us", k2.Lookahead())
+	}
+	if k2.Lane(0) == k2.Lane(1) {
+		t.Fatal("distinct lanes must have distinct handles")
+	}
+	if k2.Lane(0) != k2.Lane(4) {
+		t.Fatal("Lane must wrap modulo the lane count")
+	}
+
+	k3 := NewKernel()
+	if k3.Lane(0) != k3.Lane(7) {
+		t.Fatal("unsharded kernel must map every index to the compute lane")
+	}
+}
+
+// TestSuspendWake exercises the Suspend/Wake pair: the waking event's
+// handler continues the process inline, so work the process does after
+// waking is observed before the next queued event dispatches.
+func TestSuspendWake(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("sleeper", func(p *Proc) {
+		sh := k.Lane(0)
+		sh.After(time.Millisecond, func() {
+			order = append(order, "wake-event")
+			// Queued before the wake, at the same instant — yet the
+			// process continuation must run first, inline.
+			sh.After(0, func() { order = append(order, "later-event") })
+			sh.Wake(p)
+			order = append(order, "after-wake")
+		})
+		p.Suspend("test")
+		order = append(order, "resumed")
+		p.Wait(0)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"wake-event", "resumed", "after-wake", "later-event"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestSuspendDeadlockDiagnosis checks a never-woken Suspend surfaces in
+// the deadlock report with its reason.
+func TestSuspendDeadlockDiagnosis(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("stuck", func(p *Proc) { p.Suspend("waiting for nothing") })
+	err := k.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(de.Blocked) != 1 || de.Blocked[0] != "stuck: waiting for nothing" {
+		t.Fatalf("blocked = %v", de.Blocked)
+	}
+}
+
+// TestStagePanicPropagates checks a panic inside a parallel stage reaches
+// the Run caller (re-raised deterministically on the dispatcher).
+func TestStagePanicPropagates(t *testing.T) {
+	k := NewKernel()
+	if err := k.ConfigureShards(2, time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	k.SetStageMin(2)
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Lane(i).After(time.Microsecond, func() {
+			if i == 1 {
+				panic("lane boom")
+			}
+		})
+	}
+	defer func() {
+		if v := recover(); v != "lane boom" {
+			t.Fatalf("recovered %v, want \"lane boom\"", v)
+		}
+	}()
+	k.Run()
+	t.Fatal("Run returned without panicking")
+}
+
+// TestUnroutedScheduleFromStagePanics pins the safety guard: kernel-level
+// scheduling from inside a stage worker is a bug and must panic rather
+// than silently race.
+func TestUnroutedScheduleFromStagePanics(t *testing.T) {
+	k := NewKernel()
+	if err := k.ConfigureShards(2, time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	k.SetStageMin(2)
+	for i := 0; i < 2; i++ {
+		k.Lane(i).After(time.Microsecond, func() {
+			k.After(0, func() {}) // unrouted: must panic
+		})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unrouted schedule inside a stage did not panic")
+		}
+	}()
+	k.Run()
+}
