@@ -1,7 +1,7 @@
 # paragonio — reproduction of Smirni et al., HPDC 1996.
 GO ?= go
 
-.PHONY: all build test test-short vet vet-race fmt bench bench-smoke bench-json tables experiments clean
+.PHONY: all build test test-short vet vet-race vet-race-clientcache fmt bench bench-smoke bench-json tables experiments clean
 
 all: build test
 
@@ -24,6 +24,15 @@ vet:
 vet-race:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/experiments/ ./internal/sim/
+
+# Race-check the client cache tier: the lease-coherence property test
+# (randomized sharing schedules against the version oracle), the
+# client-tier unit tests, and the client-on golden digests at
+# 1/4/16 shards.
+vet-race-clientcache:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/cache/ ./internal/pfs/
+	$(GO) test -race -run 'ClientCache|ClientVariants|CacheAlias' ./internal/experiments/
 
 fmt:
 	gofmt -l .

@@ -7,6 +7,7 @@
 //
 //	go test -run=NONE -bench=. -benchmem -benchtime=1x ./... > bench.out
 //	go run ./cmd/benchjson -o BENCH_2026-08-05.json < bench.out
+//	go run ./cmd/benchjson -only BenchmarkClientTierHit,BenchmarkKernel < bench.out
 //
 // Besides ns/op, B/op and allocs/op it keeps every custom metric the
 // benchmarks report (the artifact benchmarks attach their headline
@@ -25,6 +26,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"paragonio/internal/cliflags"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -147,7 +150,7 @@ func parseBenchLine(line, pkg string) (*Benchmark, error) {
 	return b, nil
 }
 
-func run(in io.Reader, out io.Writer, date string) error {
+func run(in io.Reader, out io.Writer, date, only string) error {
 	rep, err := parse(in)
 	if err != nil {
 		return err
@@ -155,15 +158,56 @@ func run(in io.Reader, out io.Writer, date string) error {
 	if len(rep.Benchmarks) == 0 {
 		return fmt.Errorf("benchjson: no benchmark result lines on stdin")
 	}
+	if err := filterOnly(rep, only); err != nil {
+		return err
+	}
 	rep.Date = date
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
 }
 
+// filterOnly applies the -only selection to the parsed report. Names
+// match the benchmark base name (the -GOMAXPROCS suffix stripped), and
+// unknown names are rejected with the valid list, like iotables -only.
+func filterOnly(rep *Report, only string) error {
+	if only == "" {
+		return nil
+	}
+	base := func(name string) string {
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				return name[:i]
+			}
+		}
+		return name
+	}
+	valid := make([]string, 0, len(rep.Benchmarks))
+	seen := map[string]bool{}
+	for _, b := range rep.Benchmarks {
+		if n := base(b.Name); !seen[n] {
+			seen[n] = true
+			valid = append(valid, n)
+		}
+	}
+	wanted, err := cliflags.Only(only, "benchmark", valid)
+	if err != nil {
+		return err
+	}
+	kept := rep.Benchmarks[:0]
+	for _, b := range rep.Benchmarks {
+		if wanted[base(b.Name)] {
+			kept = append(kept, b)
+		}
+	}
+	rep.Benchmarks = kept
+	return nil
+}
+
 func main() {
 	outPath := flag.String("o", "", "output file (default stdout)")
 	date := flag.String("date", time.Now().Format("2006-01-02"), "run date stamped into the report")
+	only := flag.String("only", "", "comma-separated benchmark base names to keep (e.g. BenchmarkKernel,BenchmarkClientTierHit)")
 	flag.Parse()
 
 	out := io.Writer(os.Stdout)
@@ -176,7 +220,7 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	if err := run(os.Stdin, out, *date); err != nil {
+	if err := run(os.Stdin, out, *date, *only); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

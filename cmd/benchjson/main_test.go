@@ -68,7 +68,7 @@ func TestParse(t *testing.T) {
 
 func TestRunEmitsJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sampleOutput), &out, "2026-08-05"); err != nil {
+	if err := run(strings.NewReader(sampleOutput), &out, "2026-08-05", ""); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -85,7 +85,34 @@ func TestRunEmitsJSON(t *testing.T) {
 
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("no benchmarks here\n"), &out, "2026-08-05"); err == nil {
+	if err := run(strings.NewReader("no benchmarks here\n"), &out, "2026-08-05", ""); err == nil {
 		t.Fatal("empty input accepted")
+	}
+}
+
+// TestRunOnlyFilter pins the -only selection: kept names survive with
+// the -GOMAXPROCS suffix intact, and a typo is rejected with the valid
+// base-name list, in the same shape as iotables -only.
+func TestRunOnlyFilter(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleOutput), &out, "2026-08-05", "BenchmarkKernelEventDispatch"); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		t.Fatal("-only filtered everything out")
+	}
+	for _, b := range rep.Benchmarks {
+		if !strings.HasPrefix(b.Name, "BenchmarkKernelEventDispatch") {
+			t.Errorf("unexpected benchmark %q survived the filter", b.Name)
+		}
+	}
+	out.Reset()
+	err := run(strings.NewReader(sampleOutput), &out, "2026-08-05", "BenchmarkTypo")
+	if err == nil || !strings.Contains(err.Error(), `unknown benchmark "BenchmarkTypo" (valid: `) {
+		t.Fatalf("typo error = %v", err)
 	}
 }

@@ -9,6 +9,7 @@
 //	iobench -kernel staging-write  -sweep request -mode M_ASYNC
 //	iobench -kernel compulsory-read -sweep ionodes -mode M_GLOBAL
 //	iobench -kernel checkpoint     -sweep cache   -mode M_ASYNC
+//	iobench -kernel strided-reload -sweep clientcache
 //	iobench -nodes 64 -volume 67108864 -request 131072
 //	iobench -shards auto           # shard each simulation across all cores
 package main
@@ -17,9 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"strconv"
 
+	"paragonio/internal/cliflags"
 	"paragonio/internal/iobench"
 	"paragonio/internal/pfs"
 )
@@ -27,7 +27,7 @@ import (
 func main() {
 	var (
 		kernel  = flag.String("kernel", "", "kernel slug (empty = all)")
-		sweep   = flag.String("sweep", "modes", "sweep dimension: modes, request, ionodes, cache")
+		sweep   = flag.String("sweep", "modes", "sweep dimension: modes, request, ionodes, cache, clientcache")
 		mode    = flag.String("mode", "M_ASYNC", "access mode for request/ionodes sweeps")
 		nodes   = flag.Int("nodes", 32, "compute nodes")
 		request = flag.Int64("request", 128<<10, "request size (bytes)")
@@ -37,7 +37,7 @@ func main() {
 			"kernel shards per simulation: 1 = single-threaded, N >= 2 = conservative lanes, auto = GOMAXPROCS (results are identical for any value)")
 	)
 	flag.Parse()
-	ns, err := parseShards(*shards)
+	ns, err := cliflags.ParseShards(*shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iobench:", err)
 		os.Exit(1)
@@ -46,19 +46,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "iobench:", err)
 		os.Exit(1)
 	}
-}
-
-// parseShards resolves the -shards flag: a positive integer or "auto"
-// (all cores).
-func parseShards(s string) (int, error) {
-	if s == "auto" {
-		return runtime.GOMAXPROCS(0), nil
-	}
-	n, err := strconv.Atoi(s)
-	if err != nil || n < 1 {
-		return 0, fmt.Errorf("invalid -shards %q (want a positive integer or auto)", s)
-	}
-	return n, nil
 }
 
 func run(kernel, sweep, modeName string, nodes int, request, volume, seed int64, shards int) error {
@@ -107,8 +94,11 @@ func run(kernel, sweep, modeName string, nodes int, request, volume, seed int64,
 		case "cache":
 			results, err = iobench.SweepCache(base)
 			label = func(r *iobench.Result) string { return r.CacheLabel }
+		case "clientcache":
+			results, err = iobench.SweepClientCache(base)
+			label = func(r *iobench.Result) string { return r.CacheLabel }
 		default:
-			return fmt.Errorf("unknown sweep %q", sweep)
+			return cliflags.Sweep(sweep, []string{"modes", "request", "ionodes", "cache", "clientcache"})
 		}
 		if err != nil {
 			return err

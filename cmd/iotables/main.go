@@ -16,10 +16,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
-	"strconv"
-	"strings"
 
+	"paragonio/internal/cliflags"
 	"paragonio/internal/experiments"
 )
 
@@ -29,13 +27,13 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload random seed")
 		summary = flag.Bool("summary", false, "print only the per-experiment metric comparisons")
 		outDir  = flag.String("out", "", "also write each artifact to <dir>/<id>.txt")
-		jobs    = flag.Int("j", runtime.GOMAXPROCS(0),
+		jobs    = flag.Int("j", cliflags.DefaultJobs(),
 			"experiments regenerated in parallel (sims are deterministic; output is identical for any -j)")
 		shards = flag.String("shards", "1",
 			"kernel shards per simulation: 1 = single-threaded, N >= 2 = conservative lanes, auto = GOMAXPROCS (output is identical for any value)")
 	)
 	flag.Parse()
-	n, err := parseShards(*shards)
+	n, err := cliflags.ParseShards(*shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iotables:", err)
 		os.Exit(1)
@@ -46,34 +44,17 @@ func main() {
 	}
 }
 
-// parseShards resolves the -shards flag: a positive integer or "auto"
-// (all cores).
-func parseShards(s string) (int, error) {
-	if s == "auto" {
-		return runtime.GOMAXPROCS(0), nil
-	}
-	n, err := strconv.Atoi(s)
-	if err != nil || n < 1 {
-		return 0, fmt.Errorf("invalid -shards %q (want a positive integer or auto)", s)
-	}
-	return n, nil
-}
-
 func run(only string, seed int64, summary bool, outDir string, jobs, shards int) error {
 	exps := experiments.All()
-	if only != "" {
-		wanted := map[string]bool{}
-		for _, id := range strings.Split(only, ",") {
-			id = strings.TrimSpace(id)
-			if _, ok := experiments.ByID(id); !ok {
-				valid := make([]string, 0, len(exps))
-				for _, e := range exps {
-					valid = append(valid, e.ID)
-				}
-				return fmt.Errorf("unknown experiment %q (valid: %s)", id, strings.Join(valid, ", "))
-			}
-			wanted[id] = true
-		}
+	valid := make([]string, 0, len(exps))
+	for _, e := range exps {
+		valid = append(valid, e.ID)
+	}
+	wanted, err := cliflags.Only(only, "experiment", valid)
+	if err != nil {
+		return err
+	}
+	if wanted != nil {
 		kept := exps[:0]
 		for _, e := range exps {
 			if wanted[e.ID] {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"paragonio/internal/cliflags"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -97,17 +98,18 @@ func TestRunShardedArtifactsIdentical(t *testing.T) {
 	}
 }
 
-// TestParseShards pins the -shards flag grammar.
+// TestParseShards pins the -shards flag grammar, now shared through
+// internal/cliflags (its own tests pin the exact error text).
 func TestParseShards(t *testing.T) {
-	if n, err := parseShards("4"); err != nil || n != 4 {
-		t.Fatalf("parseShards(4) = %d, %v", n, err)
+	if n, err := cliflags.ParseShards("4"); err != nil || n != 4 {
+		t.Fatalf("ParseShards(4) = %d, %v", n, err)
 	}
-	if n, err := parseShards("auto"); err != nil || n < 1 {
-		t.Fatalf("parseShards(auto) = %d, %v", n, err)
+	if n, err := cliflags.ParseShards("auto"); err != nil || n < 1 {
+		t.Fatalf("ParseShards(auto) = %d, %v", n, err)
 	}
 	for _, bad := range []string{"0", "-2", "many", ""} {
-		if _, err := parseShards(bad); err == nil {
-			t.Errorf("parseShards(%q) accepted", bad)
+		if _, err := cliflags.ParseShards(bad); err == nil {
+			t.Errorf("ParseShards(%q) accepted", bad)
 		}
 	}
 }

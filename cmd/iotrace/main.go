@@ -8,6 +8,8 @@
 //	iotrace summary  trace.sddf              # aggregate + per-file lifetimes
 //	iotrace cdf      trace.sddf [-op read]   # request-size CDF plot
 //	iotrace timeline trace.sddf [-op seek]   # size/duration scatter over time
+//	iotrace timeline trace.sddf -op cache-dirty      # tag-2 dirty-queue depth
+//	iotrace cdf      trace.sddf -op cache-hit-ratio  # tag-2 hit-ratio CDF
 //	iotrace windows  trace.sddf [-width 10s] # time-window summaries
 //	iotrace regions  trace.sddf -file f [-rwidth 65536]  # file-region summaries
 //	iotrace taxonomy trace.sddf              # Miller-Katz I/O classification
@@ -20,7 +22,9 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"time"
 
 	"paragonio/internal/analysis"
@@ -48,7 +52,7 @@ func main() {
 	gaps := fs.Bool("gaps", false, "replay: preserve inter-operation think time")
 	fs.Parse(os.Args[3:])
 
-	tr, err := load(path)
+	tr, samples, err := load(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iotrace:", err)
 		os.Exit(1)
@@ -57,9 +61,17 @@ func main() {
 	case "summary":
 		err = summary(tr)
 	case "cdf":
-		err = cdf(tr, *opName)
+		if isCacheOp(*opName) {
+			err = cacheCDF(os.Stdout, samples, *opName)
+		} else {
+			err = cdf(tr, *opName)
+		}
 	case "timeline":
-		err = timeline(tr, *opName)
+		if isCacheOp(*opName) {
+			err = cacheTimeline(os.Stdout, samples, *opName)
+		} else {
+			err = timeline(tr, *opName)
+		}
 	case "windows":
 		err = windows(tr, *width)
 	case "regions":
@@ -89,22 +101,155 @@ func usage() {
 
 // load reads a trace in any of the three supported encodings, detected
 // by magic: the SDDF text format, the compact binary format, or the
-// generic self-describing stream (whose io-event records are extracted
-// and foreign records ignored).
-func load(path string) (*pablo.Trace, error) {
+// generic self-describing stream. From a generic stream the tag-2
+// cache-sample records ride along for the cache-* plot ops; other
+// foreign records are ignored, and the single-stream formats carry no
+// samples.
+func load(path string) (*pablo.Trace, []pablo.CacheSample, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	switch {
 	case bytes.HasPrefix(data, []byte("PIOB")):
-		return pablo.ReadTraceBinary(bytes.NewReader(data))
+		tr, err := pablo.ReadTraceBinary(bytes.NewReader(data))
+		return tr, nil, err
 	case bytes.HasPrefix(data, []byte("#SDDF-G")):
-		tr, _, err := pablo.ReadSDDF(sddf.NewReader(bytes.NewReader(data)))
-		return tr, err
+		tr, others, err := pablo.ReadSDDF(sddf.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return nil, nil, err
+		}
+		var samples []pablo.CacheSample
+		for _, rec := range others {
+			if rec.Desc == nil || rec.Desc.Name != "cache-sample" {
+				continue
+			}
+			s, err := pablo.CacheSampleFromRecord(rec)
+			if err != nil {
+				return nil, nil, err
+			}
+			samples = append(samples, s)
+		}
+		return tr, samples, nil
 	default:
-		return pablo.ReadTrace(bytes.NewReader(data))
+		tr, err := pablo.ReadTrace(bytes.NewReader(data))
+		return tr, nil, err
 	}
+}
+
+// isCacheOp reports whether the -op value names a tag-2 cache series
+// rather than an io-event operation.
+func isCacheOp(op string) bool {
+	return op == "cache-dirty" || op == "cache-hit-ratio"
+}
+
+// instant is one sampling instant aggregated across I/O nodes.
+type instant struct {
+	t          time.Duration
+	dirty      float64
+	hits       float64 // cumulative, summed over I/O nodes
+	misses     float64
+	cliHits    float64 // tier-wide (identical on every record of the instant)
+	cliMisses  float64
+	haveClient bool
+}
+
+// instants folds the per-I/O-node cache-sample records into one point
+// per sampling instant, in time order (the records arrive time-ordered).
+func instants(samples []pablo.CacheSample) []instant {
+	var out []instant
+	for _, s := range samples {
+		if len(out) == 0 || out[len(out)-1].t != s.T {
+			out = append(out, instant{t: s.T})
+		}
+		in := &out[len(out)-1]
+		in.dirty += float64(s.Dirty)
+		in.hits += float64(s.Hits)
+		in.misses += float64(s.Misses)
+		// The client-tier fields are tier-wide, so take one record's.
+		in.cliHits = float64(s.ClientHits)
+		in.cliMisses = float64(s.ClientMisses)
+		if s.ClientHits != 0 || s.ClientMisses != 0 {
+			in.haveClient = true
+		}
+	}
+	return out
+}
+
+func ratio(h, m float64) float64 {
+	if h+m == 0 {
+		return 0
+	}
+	return h / (h + m)
+}
+
+// cacheTimeline plots a tag-2 series over execution time: the aggregate
+// dirty-queue depth, or the cumulative hit ratio (with a second series
+// for the client tier when the stream carries it).
+func cacheTimeline(w io.Writer, samples []pablo.CacheSample, op string) error {
+	ins := instants(samples)
+	if len(ins) == 0 {
+		return fmt.Errorf("no cache-sample records in the stream (need a generic SDDF stream with tag-2 records)")
+	}
+	var series []report.Series
+	plot := report.Plot{XLabel: "execution time (s)", Width: 72, Height: 16}
+	switch op {
+	case "cache-dirty":
+		plot.Title = "dirty-queue depth over execution time"
+		plot.YLabel = "dirty blocks (all I/O nodes)"
+		s := report.Series{Name: "dirty", Glyph: '*', Line: true}
+		for _, in := range ins {
+			s.Points = append(s.Points, report.Point{X: in.t.Seconds(), Y: in.dirty})
+		}
+		series = append(series, s)
+	default: // cache-hit-ratio
+		plot.Title = "cache hit ratio over execution time"
+		plot.YLabel = "cumulative hit ratio"
+		ion := report.Series{Name: "io-node tier", Glyph: 'i', Line: true}
+		cli := report.Series{Name: "client tier", Glyph: 'c', Line: true}
+		haveClient := false
+		for _, in := range ins {
+			ion.Points = append(ion.Points, report.Point{X: in.t.Seconds(), Y: ratio(in.hits, in.misses)})
+			cli.Points = append(cli.Points, report.Point{X: in.t.Seconds(), Y: ratio(in.cliHits, in.cliMisses)})
+			haveClient = haveClient || in.haveClient
+		}
+		series = append(series, ion)
+		if haveClient {
+			series = append(series, cli)
+		}
+	}
+	return plot.Render(w, series)
+}
+
+// cacheCDF plots the distribution of a tag-2 series across sampling
+// instants: what fraction of the run sat at or below a given depth or
+// ratio.
+func cacheCDF(w io.Writer, samples []pablo.CacheSample, op string) error {
+	ins := instants(samples)
+	if len(ins) == 0 {
+		return fmt.Errorf("no cache-sample records in the stream (need a generic SDDF stream with tag-2 records)")
+	}
+	vals := make([]float64, len(ins))
+	plot := report.Plot{YLabel: "CDF", Width: 72, Height: 18}
+	if op == "cache-dirty" {
+		plot.Title = "CDF of dirty-queue depth across sampling instants"
+		plot.XLabel = "dirty blocks (all I/O nodes)"
+		for i, in := range ins {
+			vals[i] = in.dirty
+		}
+	} else {
+		plot.Title = "CDF of io-node hit ratio across sampling instants"
+		plot.XLabel = "cumulative hit ratio"
+		for i, in := range ins {
+			vals[i] = ratio(in.hits, in.misses)
+		}
+	}
+	sort.Float64s(vals)
+	s := report.Series{Name: op, Glyph: '*', Line: true}
+	for i, v := range vals {
+		s.Points = append(s.Points, report.Point{X: v, Y: float64(i+1) / float64(len(vals))})
+	}
+	return plot.Render(w, []report.Series{s})
 }
 
 func summary(tr *pablo.Trace) error {

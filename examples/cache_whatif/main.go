@@ -96,6 +96,10 @@ func main() {
 			rec, err := pablo.CacheSampleRecord(desc, pablo.CacheSample{
 				T: s.T, IONode: io, Dirty: int64(dirty),
 				Hits: int64(s.CacheHits), Misses: int64(s.CacheMisses),
+				ClientHits:   int64(s.ClientHits),
+				ClientMisses: int64(s.ClientMisses),
+				Recalls:      int64(s.ClientRecalls),
+				StaleAverted: int64(s.ClientStaleAverted),
 			})
 			if err != nil {
 				log.Fatal(err)

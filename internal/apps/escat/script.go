@@ -19,6 +19,9 @@ func outName(ch int) string  { return fmt.Sprintf("escat/out.%d", ch) }
 // trace time to the staging writes.
 func QuadFile(ch int) string { return quadName(ch) }
 
+// OutFile returns the result file name for a collision channel.
+func OutFile(ch int) string { return outName(ch) }
+
 // Script installs the ESCAT workload on the machine: it preloads the
 // input files, spawns one process per node, and drives the four phases
 // according to the version's structure. The kernel is run by the caller.

@@ -1,0 +1,669 @@
+// Client tier: a per-compute-node cache in front of the PFS data path,
+// kept coherent by a lease-based protocol — the host-side buffering shape
+// ParaLog/iFast showed wins for checkpoint-style workloads, and the
+// missing piece the paper's applications worked around by hand (PRISM's
+// version C disabled client buffering precisely because PFS's per-handle
+// read buffer had no invalidation story).
+//
+// Protocol, in full:
+//
+//   - Every cached block carries a read lease with a simulated-time
+//     expiry. A lookup is a hit only while the lease is valid; an
+//     expired block is dropped at lookup (lazily, at zero cost) and the
+//     refetch re-registers the holder with a fresh lease. There is no
+//     local renewal: a lease can only be extended by going back through
+//     the directory, so a writer always sees every holder it must
+//     invalidate.
+//   - Writes invalidate. The tier keeps a directory mapping each block
+//     to its holders; a write bumps the block's version and recalls the
+//     block from every holder with a still-valid lease (expired holders
+//     are skipped for free — their next lookup misses anyway). The
+//     writer pays the invalidation round-trip before its data leaves the
+//     node: the cost is the worst mesh round-trip over the recalled
+//     peers, so coherence traffic is priced at real mesh latency.
+//   - A conflicting setiomode recalls the whole stream: mode
+//     renegotiation drops every node's cached blocks for that file, the
+//     caller paying the same worst-peer round-trip.
+//   - In-flight fills are poisoned by writes. A miss records the block
+//     version it is fetching; if a write bumps the version before the
+//     fill returns, the fill is discarded instead of installed — the
+//     fetch and the write raced through the I/O-node queues, so the
+//     fetched bytes could be either generation.
+//
+// All tier state lives on shard lane 0 and is mutated exclusively from
+// process context (the compute side of the sharded kernel), so the tier
+// is deterministic and race-free for every shard count; only the block
+// fills it triggers cross LP boundaries, through the PFS data path's
+// existing sim.Shard routing. Blocks are never dirty — PFS stays
+// write-through underneath — so eviction is free and recalls never lose
+// data, only leases.
+//
+// Versions exist purely for verification: the coherence oracle test
+// subscribes via SetObserver and asserts that no read is ever served a
+// version older than the last write. They cost two words per block and
+// keep the protocol honest.
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"paragonio/internal/mesh"
+	"paragonio/internal/sim"
+)
+
+// ClientConfig describes the client (compute-node-side) cache tier. The
+// zero value of every field selects a documented default, so
+// &ClientConfig{} is usable as-is.
+type ClientConfig struct {
+	// BlockSize is the client cache block size in bytes (default 4 KB —
+	// OS-page granularity, deliberately finer than the 64 KB stripe unit
+	// so small-record workloads don't false-share whole stripes).
+	BlockSize int64
+	// CapacityBytes is the per-compute-node cache capacity (default
+	// 1 MB — a slice of mid-90s node DRAM, not the I/O node's budget).
+	CapacityBytes int64
+	// LeaseTTL is how long a read lease stays valid in simulated time
+	// (default 500 ms). Shorter leases cheapen writes (more holders have
+	// already expired) and penalize re-reads; longer leases do the
+	// opposite.
+	LeaseTTL time.Duration
+	// HitCost is the fixed software cost of a lookup that hits (default
+	// 25 µs — cheaper than the PFS client buffer hit: no handle-layer
+	// bookkeeping, just a page-table-shaped lookup).
+	HitCost time.Duration
+	// CopyBW is the node-local memory-copy bandwidth in bytes/second
+	// used to hand cached bytes to the application (default 25 MB/s, the
+	// same client-side copy the PFS read buffer pays).
+	CopyBW float64
+	// RecallBytes is the payload of one lease-recall message (default
+	// 64 — a control message, priced by mesh latency, not bandwidth).
+	RecallBytes int64
+}
+
+// WithDefaults fills zero fields with their documented defaults, then
+// validates.
+func (c ClientConfig) WithDefaults() (ClientConfig, error) {
+	if c.BlockSize == 0 {
+		c.BlockSize = 4 * 1024
+	}
+	if c.CapacityBytes == 0 {
+		c.CapacityBytes = 1 << 20
+	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = DefaultClientTTL
+	}
+	if c.HitCost == 0 {
+		c.HitCost = 25 * time.Microsecond
+	}
+	if c.CopyBW == 0 {
+		c.CopyBW = 25e6
+	}
+	if c.RecallBytes == 0 {
+		c.RecallBytes = 64
+	}
+	return c, c.Validate()
+}
+
+// Validate reports whether the configuration is usable. It expects
+// defaults to have been applied (WithDefaults).
+func (c ClientConfig) Validate() error {
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("cache: client BlockSize = %d, need > 0", c.BlockSize)
+	}
+	if c.CapacityBytes < c.BlockSize {
+		return fmt.Errorf("cache: client CapacityBytes = %d, need >= one block of %d", c.CapacityBytes, c.BlockSize)
+	}
+	if c.LeaseTTL <= 0 {
+		return fmt.Errorf("cache: client LeaseTTL = %v, need > 0", c.LeaseTTL)
+	}
+	if c.HitCost < 0 {
+		return fmt.Errorf("cache: negative client HitCost %v", c.HitCost)
+	}
+	if c.CopyBW <= 0 {
+		return fmt.Errorf("cache: client CopyBW = %g, need > 0", c.CopyBW)
+	}
+	if c.RecallBytes < 0 {
+		return fmt.Errorf("cache: negative client RecallBytes %d", c.RecallBytes)
+	}
+	return nil
+}
+
+// ClientStats is a snapshot of the whole client tier's accumulated
+// activity (summed over compute nodes).
+type ClientStats struct {
+	Hits   uint64 // block lookups served node-locally under a valid lease
+	Misses uint64 // block lookups that went to the PFS data path
+
+	LeaseExpired uint64 // resident blocks dropped at lookup because the lease aged out
+	Installed    uint64 // blocks installed (fills and write-allocations)
+	Evicted      uint64 // blocks evicted for capacity
+	RacedFills   uint64 // fills discarded because a write landed while they were in flight
+
+	Recalls      uint64 // lease-recall messages delivered to peer holders
+	RecallRounds uint64 // writes that had to recall at least one peer
+	StaleAverted uint64 // recalled blocks actually resident at the holder: a stale read averted
+	FileRecalls  uint64 // whole-stream recalls (setiomode renegotiations)
+
+	// RecallWait is the summed time writers spent blocked on
+	// invalidation round-trips (the price of coherence).
+	RecallWait time.Duration
+
+	Blocks int // resident blocks right now, all nodes
+	Nodes  int // compute nodes with an instantiated cache
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 with no lookups.
+func (s ClientStats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// ClientOpKind labels one client-tier state transition.
+type ClientOpKind int
+
+const (
+	// ClientHit: a block lookup served node-locally; Version is the
+	// version served (what the coherence oracle checks).
+	ClientHit ClientOpKind = iota
+	// ClientMiss: a block lookup that goes to the PFS data path.
+	ClientMiss
+	// ClientWrite: a write bumped the block's version to Version.
+	ClientWrite
+	// ClientRecall: Node's copy was invalidated by a peer's write or a
+	// setiomode renegotiation.
+	ClientRecall
+	// ClientExpire: Node's resident copy was dropped at lookup because
+	// its lease aged out.
+	ClientExpire
+	// ClientInstall: a block became resident at Node under a fresh
+	// lease, at Version.
+	ClientInstall
+	// ClientEvict: Node's copy was evicted for capacity.
+	ClientEvict
+)
+
+// ClientOp is one observable client-tier transition, delivered to the
+// SetObserver hook. Used by the coherence oracle test.
+type ClientOp struct {
+	Kind    ClientOpKind
+	Node    int
+	Stream  string
+	Block   int64
+	Version uint64
+}
+
+// clientLease is one holder's registration in the directory.
+type clientLease struct {
+	node   int
+	expiry sim.Time
+}
+
+// clientDirEntry is the directory's view of one block: its current
+// version and every registered holder.
+type clientDirEntry struct {
+	version uint64
+	holders []clientLease // sorted by node id
+}
+
+// clientBlock is one resident block on a node's intrusive LRU list.
+type clientBlock struct {
+	key        blockKey
+	version    uint64
+	expiry     sim.Time
+	prev, next *clientBlock
+}
+
+// clientNode is one compute node's cache, created lazily on first use.
+type clientNode struct {
+	id       int
+	blocks   map[blockKey]*clientBlock
+	mru, lru *clientBlock
+}
+
+// ClientTier is the whole client cache tier: one lazily-created cache
+// per compute node plus the coherence directory. All methods must be
+// called from process context (the simulation's compute side), which
+// serializes them; no locking is needed and runs are deterministic for
+// every shard count.
+type ClientTier struct {
+	k         *sim.Kernel
+	m         *mesh.Mesh
+	cfg       ClientConfig
+	capBlocks int
+
+	nodes map[int]*clientNode
+	dir   map[blockKey]*clientDirEntry
+	// pending records the directory version each in-flight fill saw at
+	// miss time; Install discards fills whose block was written since —
+	// the data they carry raced the write through the I/O-node queues
+	// and could be either generation.
+	pending  map[pendingFill]uint64
+	stats    ClientStats
+	observer func(ClientOp)
+}
+
+// pendingFill identifies one node's in-flight fill of one block.
+type pendingFill struct {
+	node int
+	key  blockKey
+}
+
+// NewClientTier creates the tier. cfg must already be valid (see
+// ClientConfig.WithDefaults).
+func NewClientTier(k *sim.Kernel, m *mesh.Mesh, cfg ClientConfig) (*ClientTier, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("cache: client tier needs a mesh model for recall costing")
+	}
+	capBlocks := int(cfg.CapacityBytes / cfg.BlockSize)
+	if capBlocks < 1 {
+		capBlocks = 1
+	}
+	return &ClientTier{
+		k:         k,
+		m:         m,
+		cfg:       cfg,
+		capBlocks: capBlocks,
+		nodes:     make(map[int]*clientNode),
+		dir:       make(map[blockKey]*clientDirEntry),
+		pending:   make(map[pendingFill]uint64),
+	}, nil
+}
+
+// Config returns the tier's (defaulted) configuration.
+func (t *ClientTier) Config() ClientConfig { return t.cfg }
+
+// BlockSize returns the tier's block size.
+func (t *ClientTier) BlockSize() int64 { return t.cfg.BlockSize }
+
+// SetObserver installs a hook receiving every tier transition. Test-only
+// instrumentation: the coherence oracle subscribes here.
+func (t *ClientTier) SetObserver(fn func(ClientOp)) { t.observer = fn }
+
+// Stats returns a snapshot of accumulated statistics.
+func (t *ClientTier) Stats() ClientStats {
+	s := t.stats
+	for _, nc := range t.nodes {
+		s.Blocks += len(nc.blocks)
+	}
+	s.Nodes = len(t.nodes)
+	return s
+}
+
+func (t *ClientTier) emit(kind ClientOpKind, node int, k blockKey, version uint64) {
+	if t.observer != nil {
+		t.observer(ClientOp{Kind: kind, Node: node, Stream: k.stream, Block: k.idx, Version: version})
+	}
+}
+
+func (t *ClientTier) node(id int) *clientNode {
+	nc := t.nodes[id]
+	if nc == nil {
+		nc = &clientNode{id: id, blocks: make(map[blockKey]*clientBlock)}
+		t.nodes[id] = nc
+	}
+	return nc
+}
+
+func (t *ClientTier) entry(k blockKey) *clientDirEntry {
+	e := t.dir[k]
+	if e == nil {
+		e = &clientDirEntry{}
+		t.dir[k] = e
+	}
+	return e
+}
+
+// CopyCost prices handing n bytes from the node's cache (or arrival
+// buffer, on a fill) to the application.
+func (t *ClientTier) CopyCost(n int64) time.Duration {
+	return time.Duration(float64(n) / t.cfg.CopyBW * float64(time.Second))
+}
+
+// span returns the inclusive block-index range covering [off, off+size).
+func (t *ClientTier) span(off, size int64) (first, last int64) {
+	bs := t.cfg.BlockSize
+	return off / bs, (off + size - 1) / bs
+}
+
+// Read attempts to serve [off, off+size) of stream from node's cache.
+// It returns (serviceTime, true) when every covered block is resident
+// under a valid lease, and (0, false) otherwise — the caller then
+// fetches whole covering blocks through the PFS data path and registers
+// them with Install. Expired residents encountered on either path are
+// dropped lazily, for free.
+func (t *ClientTier) Read(node int, stream string, off, size int64) (time.Duration, bool) {
+	if size <= 0 {
+		return 0, true
+	}
+	now := t.k.Now()
+	nc := t.node(node)
+	first, last := t.span(off, size)
+	hit := true
+	for idx := first; idx <= last; idx++ {
+		k := blockKey{stream: stream, idx: idx}
+		b := nc.blocks[k]
+		if b == nil {
+			hit = false
+			continue
+		}
+		if b.expiry <= now {
+			t.dropBlock(nc, b)
+			t.unregister(node, k)
+			t.stats.LeaseExpired++
+			t.emit(ClientExpire, node, k, b.version)
+			hit = false
+		}
+	}
+	n := uint64(last - first + 1)
+	if !hit {
+		t.stats.Misses += n
+		for idx := first; idx <= last; idx++ {
+			k := blockKey{stream: stream, idx: idx}
+			// Remember what generation this fill is fetching, so a write
+			// landing while it is in flight poisons it (see Install).
+			t.pending[pendingFill{node: node, key: k}] = t.entry(k).version
+			t.emit(ClientMiss, node, k, 0)
+		}
+		return 0, false
+	}
+	t.stats.Hits += n
+	for idx := first; idx <= last; idx++ {
+		k := blockKey{stream: stream, idx: idx}
+		b := nc.blocks[k]
+		t.touch(nc, b)
+		t.emit(ClientHit, node, k, b.version)
+	}
+	return t.cfg.HitCost + t.CopyCost(size), true
+}
+
+// Install registers [off, off+size) of stream as resident at node under
+// fresh leases, after the caller fetched it through the PFS data path.
+// Partial tail blocks are safe to install: any write that changes their
+// bytes bumps the version and recalls or expires this copy first.
+//
+// A fill whose block was written while it was in flight is discarded:
+// the fetched bytes and the write raced through the I/O-node queues, so
+// the fill could carry either generation — installing it might cache
+// stale data under a fresh lease. The next lookup simply misses again.
+func (t *ClientTier) Install(node int, stream string, off, size int64) {
+	if size <= 0 {
+		return
+	}
+	expiry := t.k.Now() + t.cfg.LeaseTTL
+	nc := t.node(node)
+	first, last := t.span(off, size)
+	for idx := first; idx <= last; idx++ {
+		k := blockKey{stream: stream, idx: idx}
+		e := t.entry(k)
+		pf := pendingFill{node: node, key: k}
+		if v, ok := t.pending[pf]; ok {
+			delete(t.pending, pf)
+			if v != e.version {
+				t.stats.RacedFills++
+				continue
+			}
+		}
+		t.install(nc, k, e.version, expiry)
+	}
+}
+
+// Write runs the coherence protocol for a write of [off, off+size) to
+// stream by node and returns the invalidation cost the writer must wait
+// out before its data leaves the node: the worst mesh round-trip over
+// the peers that held valid leases on the written blocks. The writer's
+// own copy stays resident (write-update for self) when the write fully
+// covers the block or overwrites a still-leased copy; otherwise it is
+// dropped — a partial write over an expired copy may sit next to bytes
+// another node changed while the lease was dead.
+func (t *ClientTier) Write(node int, stream string, off, size int64) time.Duration {
+	if size <= 0 {
+		return 0
+	}
+	now := t.k.Now()
+	expiry := now + t.cfg.LeaseTTL
+	nc := t.node(node)
+	bs := t.cfg.BlockSize
+	first, last := t.span(off, size)
+	var peers []int
+	for idx := first; idx <= last; idx++ {
+		k := blockKey{stream: stream, idx: idx}
+		e := t.entry(k)
+		e.version++
+		selfValid := false
+		for _, l := range e.holders {
+			switch {
+			case l.node == node:
+				selfValid = l.expiry > now
+			case l.expiry <= now:
+				// Expired holder: no recall needed. Its resident copy, if
+				// any, dies at its next lookup.
+			default:
+				t.stats.Recalls++
+				if t.dropResident(l.node, k) {
+					t.stats.StaleAverted++
+				}
+				t.emit(ClientRecall, l.node, k, e.version)
+				peers = addPeer(peers, l.node)
+			}
+		}
+		// Every holder loses its lease; the writer re-registers itself
+		// through install below if its copy stays.
+		e.holders = e.holders[:0]
+		t.emit(ClientWrite, node, k, e.version)
+		if off <= idx*bs && off+size >= (idx+1)*bs {
+			// Fully covered: the writer's copy is the freshest possible.
+			t.install(nc, k, e.version, expiry)
+		} else if selfValid && nc.blocks[k] != nil {
+			// Partial overwrite of a still-leased copy: old bytes were
+			// current (the lease guaranteed it), new bytes are ours.
+			t.install(nc, k, e.version, expiry)
+		} else if b := nc.blocks[k]; b != nil {
+			t.dropBlock(nc, b)
+		}
+	}
+	d := t.recallCost(node, peers)
+	if d > 0 {
+		t.stats.RecallRounds++
+		t.stats.RecallWait += d
+	}
+	return d
+}
+
+// RecallStream recalls every node's cached blocks for stream — the
+// setiomode renegotiation. The caller (node) pays the worst round-trip
+// over the peers that held valid leases; its own blocks drop for free.
+func (t *ClientTier) RecallStream(node int, stream string) time.Duration {
+	now := t.k.Now()
+	keys := make([]blockKey, 0, 16)
+	for k := range t.dir {
+		if k.stream == stream && len(t.dir[k].holders) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].idx < keys[j].idx })
+	var peers []int
+	for _, k := range keys {
+		e := t.dir[k]
+		for _, l := range e.holders {
+			switch {
+			case l.node == node:
+				t.dropResident(node, k)
+			case l.expiry <= now:
+				// Expired: free.
+			default:
+				t.stats.Recalls++
+				if t.dropResident(l.node, k) {
+					t.stats.StaleAverted++
+				}
+				t.emit(ClientRecall, l.node, k, e.version)
+				peers = addPeer(peers, l.node)
+			}
+		}
+		e.holders = e.holders[:0]
+	}
+	t.stats.FileRecalls++
+	d := t.recallCost(node, peers)
+	if d > 0 {
+		t.stats.RecallWait += d
+	}
+	return d
+}
+
+// InvalidateLocal drops node's cached blocks for stream without touching
+// other holders — the client-side half of Handle.Flush. Free: blocks are
+// clean and the node holds its own leases.
+func (t *ClientTier) InvalidateLocal(node int, stream string) {
+	nc := t.nodes[node]
+	if nc == nil {
+		return
+	}
+	keys := make([]blockKey, 0, 8)
+	for k := range nc.blocks {
+		if k.stream == stream {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].idx < keys[j].idx })
+	for _, k := range keys {
+		t.dropBlock(nc, nc.blocks[k])
+		t.unregister(node, k)
+	}
+}
+
+// recallCost prices one invalidation round: the worst round-trip from
+// the caller to any recalled peer (recall message out, ack back).
+// Recalls to distinct peers overlap, so the max — not the sum — is what
+// the writer waits out.
+func (t *ClientTier) recallCost(node int, peers []int) time.Duration {
+	var d time.Duration
+	for _, peer := range peers {
+		rt := t.m.Transfer(int64(node), int64(peer), t.cfg.RecallBytes) +
+			t.m.Transfer(int64(peer), int64(node), 0)
+		if rt > d {
+			d = rt
+		}
+	}
+	return d
+}
+
+func addPeer(peers []int, n int) []int {
+	for _, p := range peers {
+		if p == n {
+			return peers
+		}
+	}
+	return append(peers, n)
+}
+
+// install makes k resident at nc under the given version and lease,
+// evicting for capacity, and registers the holder in the directory.
+func (t *ClientTier) install(nc *clientNode, k blockKey, version uint64, expiry sim.Time) {
+	b := nc.blocks[k]
+	if b == nil {
+		for len(nc.blocks) >= t.capBlocks {
+			v := nc.lru
+			t.dropBlock(nc, v)
+			t.unregister(nc.id, v.key)
+			t.stats.Evicted++
+			t.emit(ClientEvict, nc.id, v.key, v.version)
+		}
+		b = &clientBlock{key: k}
+		nc.blocks[k] = b
+		t.linkFront(nc, b)
+	} else {
+		t.touch(nc, b)
+	}
+	b.version = version
+	b.expiry = expiry
+	t.register(nc.id, k, expiry)
+	t.stats.Installed++
+	t.emit(ClientInstall, nc.id, k, version)
+}
+
+// register records node as a holder of k (update-or-insert, holders kept
+// sorted by node id for deterministic iteration).
+func (t *ClientTier) register(node int, k blockKey, expiry sim.Time) {
+	e := t.entry(k)
+	i := sort.Search(len(e.holders), func(i int) bool { return e.holders[i].node >= node })
+	if i < len(e.holders) && e.holders[i].node == node {
+		e.holders[i].expiry = expiry
+		return
+	}
+	e.holders = append(e.holders, clientLease{})
+	copy(e.holders[i+1:], e.holders[i:])
+	e.holders[i] = clientLease{node: node, expiry: expiry}
+}
+
+// unregister removes node from k's holders, if present.
+func (t *ClientTier) unregister(node int, k blockKey) {
+	e := t.dir[k]
+	if e == nil {
+		return
+	}
+	i := sort.Search(len(e.holders), func(i int) bool { return e.holders[i].node >= node })
+	if i < len(e.holders) && e.holders[i].node == node {
+		e.holders = append(e.holders[:i], e.holders[i+1:]...)
+	}
+}
+
+// dropResident removes node's copy of k if resident, reporting whether
+// it was. The directory holder entry is left to the caller.
+func (t *ClientTier) dropResident(node int, k blockKey) bool {
+	nc := t.nodes[node]
+	if nc == nil {
+		return false
+	}
+	b := nc.blocks[k]
+	if b == nil {
+		return false
+	}
+	t.dropBlock(nc, b)
+	return true
+}
+
+// --- per-node LRU bookkeeping ----------------------------------------
+
+func (t *ClientTier) dropBlock(nc *clientNode, b *clientBlock) {
+	t.unlink(nc, b)
+	delete(nc.blocks, b.key)
+}
+
+func (t *ClientTier) touch(nc *clientNode, b *clientBlock) {
+	if nc.mru == b {
+		return
+	}
+	t.unlink(nc, b)
+	t.linkFront(nc, b)
+}
+
+func (t *ClientTier) unlink(nc *clientNode, b *clientBlock) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		nc.mru = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		nc.lru = b.prev
+	}
+	b.prev, b.next = nil, nil
+}
+
+func (t *ClientTier) linkFront(nc *clientNode, b *clientBlock) {
+	b.next = nc.mru
+	if nc.mru != nil {
+		nc.mru.prev = b
+	}
+	nc.mru = b
+	if nc.lru == nil {
+		nc.lru = b
+	}
+}

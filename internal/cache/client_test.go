@@ -1,0 +1,313 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"paragonio/internal/disk"
+	"paragonio/internal/mesh"
+	"paragonio/internal/sim"
+)
+
+func newClientRig(t testing.TB, cfg ClientConfig) (*sim.Kernel, *ClientTier) {
+	t.Helper()
+	full, err := cfg.WithDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	m := mesh.MustNew(mesh.DefaultConfig())
+	ct, err := NewClientTier(k, m, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, ct
+}
+
+func TestClientConfigDefaults(t *testing.T) {
+	c, err := ClientConfig{}.WithDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BlockSize != 4096 || c.CapacityBytes != 1<<20 || c.LeaseTTL != DefaultClientTTL {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	bad := []ClientConfig{
+		{BlockSize: -1},
+		{BlockSize: 4096, CapacityBytes: 1024}, // less than one block
+		{LeaseTTL: -time.Second},
+		{CopyBW: -1},
+		{HitCost: -time.Second},
+		{RecallBytes: -1},
+	}
+	for i, b := range bad {
+		if _, err := b.WithDefaults(); err == nil {
+			t.Errorf("bad config %d (%+v) validated", i, b)
+		}
+	}
+}
+
+func TestTiersDefaultsAndValidate(t *testing.T) {
+	ti, err := Tiers{
+		IONode: &Config{WriteBehind: true},
+		Client: &ClientConfig{},
+	}.WithDefaults(64*1024, disk.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ti.Enabled() || ti.IONode.BlockSize != 64*1024 || ti.Client.BlockSize != 4096 {
+		t.Fatalf("defaults not applied: %+v / %+v", ti.IONode, ti.Client)
+	}
+	if err := ti.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Tiers{}).Enabled() {
+		t.Fatal("zero Tiers reports enabled")
+	}
+	if err := (Tiers{}).Validate(); err != nil {
+		t.Fatalf("zero Tiers must validate (both tiers off): %v", err)
+	}
+	if _, err := (Tiers{Client: &ClientConfig{BlockSize: -1}}).WithDefaults(64*1024, disk.DefaultParams()); err == nil {
+		t.Fatal("bad client config survived Tiers.WithDefaults")
+	}
+}
+
+// TestClientTierBasics drives the tier directly from a process: miss,
+// install, hit, expiry, and the hit/miss statistics.
+func TestClientTierBasics(t *testing.T) {
+	k, ct := newClientRig(t, ClientConfig{LeaseTTL: 10 * time.Millisecond})
+	k.Spawn("driver", func(p *sim.Proc) {
+		if _, hit := ct.Read(0, "f", 0, 4096); hit {
+			t.Error("cold read hit")
+		}
+		ct.Install(0, "f", 0, 4096)
+		d, hit := ct.Read(0, "f", 0, 4096)
+		if !hit {
+			t.Error("warm read missed")
+		}
+		if want := ct.Config().HitCost + ct.CopyCost(4096); d != want {
+			t.Errorf("hit cost %v, want %v", d, want)
+		}
+		// Age the lease out: the same block must miss and count an
+		// expiry.
+		p.Wait(11 * time.Millisecond)
+		if _, hit := ct.Read(0, "f", 0, 4096); hit {
+			t.Error("expired lease served a hit")
+		}
+		st := ct.Stats()
+		if st.Hits != 1 || st.Misses != 2 || st.LeaseExpired != 1 {
+			t.Errorf("stats: %+v", st)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientWriteInvalidation: a write recalls a peer's valid lease,
+// counts the averted stale read, and prices the round-trip at mesh
+// latency; expired holders cost nothing.
+func TestClientWriteInvalidation(t *testing.T) {
+	k, ct := newClientRig(t, ClientConfig{LeaseTTL: 10 * time.Millisecond})
+	m := mesh.MustNew(mesh.DefaultConfig())
+	k.Spawn("driver", func(p *sim.Proc) {
+		ct.Install(3, "f", 0, 4096) // peer holds block 0
+		d := ct.Write(9, "f", 0, 4096)
+		want := m.Transfer(9, 3, ct.Config().RecallBytes) + m.Transfer(3, 9, 0)
+		if d != want {
+			t.Errorf("recall cost %v, want mesh round-trip %v", d, want)
+		}
+		if _, hit := ct.Read(3, "f", 0, 4096); hit {
+			t.Error("peer still hits after recall")
+		}
+		st := ct.Stats()
+		if st.Recalls != 1 || st.StaleAverted != 1 || st.RecallRounds != 1 {
+			t.Errorf("stats after recall: %+v", st)
+		}
+		// Writer's own copy stays resident (full-cover write-update).
+		if _, hit := ct.Read(9, "f", 0, 4096); !hit {
+			t.Error("writer lost its own fresh copy")
+		}
+		// Expired holders are skipped for free.
+		ct.Install(3, "f", 8192, 4096)
+		p.Wait(11 * time.Millisecond)
+		if d := ct.Write(9, "f", 8192, 4096); d != 0 {
+			t.Errorf("recalling an expired holder cost %v, want 0", d)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientRacedFill: a fill that a write overtakes is discarded
+// instead of installing possibly-stale bytes under a fresh lease.
+func TestClientRacedFill(t *testing.T) {
+	k, ct := newClientRig(t, ClientConfig{})
+	k.Spawn("driver", func(p *sim.Proc) {
+		if _, hit := ct.Read(0, "f", 0, 4096); hit { // records the pending fill
+			t.Error("cold read hit")
+		}
+		ct.Write(1, "f", 0, 4096) // write lands while the fill is in flight
+		ct.Install(0, "f", 0, 4096)
+		if _, hit := ct.Read(0, "f", 0, 4096); hit {
+			t.Error("raced fill was installed and served")
+		}
+		if st := ct.Stats(); st.RacedFills != 1 {
+			t.Errorf("RacedFills = %d, want 1", st.RacedFills)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientPartialWriteRules pins the self-copy rules: a partial write
+// over a still-leased copy keeps it (old bytes were current, new bytes
+// are ours); a partial write with no valid copy cannot cache the block.
+func TestClientPartialWriteRules(t *testing.T) {
+	k, ct := newClientRig(t, ClientConfig{LeaseTTL: 10 * time.Millisecond})
+	k.Spawn("driver", func(p *sim.Proc) {
+		ct.Install(0, "f", 0, 4096)
+		ct.Write(0, "f", 100, 50) // partial, lease valid → copy stays
+		if _, hit := ct.Read(0, "f", 0, 4096); !hit {
+			t.Error("partial write over leased copy dropped it")
+		}
+		p.Wait(11 * time.Millisecond) // lease dies
+		ct.Write(0, "f", 100, 50)     // partial, lease expired → copy dropped
+		if _, hit := ct.Read(0, "f", 0, 4096); hit {
+			t.Error("partial write over expired copy kept stale bytes")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientEviction: capacity pressure evicts LRU blocks and clears
+// their directory registrations (no phantom recalls afterwards).
+func TestClientEviction(t *testing.T) {
+	k, ct := newClientRig(t, ClientConfig{CapacityBytes: 2 * 4096})
+	k.Spawn("driver", func(p *sim.Proc) {
+		ct.Install(0, "f", 0, 3*4096) // 3 blocks into a 2-block cache
+		st := ct.Stats()
+		if st.Evicted != 1 || st.Blocks != 2 {
+			t.Errorf("stats after overfill: %+v", st)
+		}
+		// The evicted block (idx 0, the LRU) must not cost the writer a
+		// recall round-trip.
+		if d := ct.Write(1, "f", 0, 4096); d != 0 {
+			t.Errorf("evicted block still registered: recall cost %v", d)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkClientTierHit(b *testing.B) {
+	k, ct := newClientRig(b, ClientConfig{LeaseTTL: time.Hour})
+	done := make(chan struct{})
+	k.Spawn("bench", func(p *sim.Proc) {
+		defer close(done)
+		ct.Install(0, "f", 0, 4096)
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, hit := ct.Read(0, "f", 0, 4096); !hit {
+				b.Error("unexpected miss")
+				return
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	<-done
+}
+
+func BenchmarkClientTierRecall(b *testing.B) {
+	k, ct := newClientRig(b, ClientConfig{LeaseTTL: time.Hour, CapacityBytes: 64 << 20})
+	done := make(chan struct{})
+	k.Spawn("bench", func(p *sim.Proc) {
+		defer close(done)
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// 4 peers re-register each round; the writer recalls them all.
+			for peer := 1; peer <= 4; peer++ {
+				ct.Install(peer, "f", 0, 4096)
+			}
+			if d := ct.Write(0, "f", 0, 4096); d == 0 {
+				b.Error("no recall cost")
+				return
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	<-done
+}
+
+func TestClientStatsHitRatio(t *testing.T) {
+	if r := (ClientStats{}).HitRatio(); r != 0 {
+		t.Fatalf("empty hit ratio %v", r)
+	}
+	s := ClientStats{Hits: 3, Misses: 1}
+	if r := s.HitRatio(); r != 0.75 {
+		t.Fatalf("hit ratio %v, want 0.75", r)
+	}
+}
+
+func TestClientTierRejectsNilMesh(t *testing.T) {
+	cfg, err := ClientConfig{}.WithDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClientTier(sim.NewKernel(), nil, cfg); err == nil {
+		t.Fatal("nil mesh accepted")
+	}
+	if _, err := NewClientTier(sim.NewKernel(), mesh.MustNew(mesh.DefaultConfig()), ClientConfig{}); err == nil {
+		t.Fatal("unvalidated zero config accepted")
+	}
+}
+
+// TestClientMultiBlockSpan: a read spanning blocks hits only when every
+// block is valid, and per-block accounting reflects the span width.
+func TestClientMultiBlockSpan(t *testing.T) {
+	k, ct := newClientRig(t, ClientConfig{})
+	k.Spawn("driver", func(p *sim.Proc) {
+		ct.Install(0, "f", 0, 2*4096)
+		if _, hit := ct.Read(0, "f", 0, 3*4096); hit {
+			t.Error("span with a missing block hit")
+		}
+		ct.Install(0, "f", 0, 3*4096)
+		if _, hit := ct.Read(0, "f", 100, 2*4096); !hit {
+			t.Error("fully resident span missed")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ExampleClientTier() {
+	k := sim.NewKernel()
+	m := mesh.MustNew(mesh.DefaultConfig())
+	cfg, _ := ClientConfig{}.WithDefaults()
+	ct, _ := NewClientTier(k, m, cfg)
+	k.Spawn("demo", func(p *sim.Proc) {
+		ct.Install(0, "data", 0, 8192)
+		_, hit := ct.Read(0, "data", 0, 4096)
+		fmt.Println("node 0 warm read hit:", hit)
+		ct.Write(1, "data", 0, 4096) // node 1 writes → recall
+		_, hit = ct.Read(0, "data", 0, 4096)
+		fmt.Println("node 0 read after peer write hit:", hit)
+	})
+	k.Run()
+	// Output:
+	// node 0 warm read hit: true
+	// node 0 read after peer write hit: false
+}

@@ -1,0 +1,67 @@
+package cache
+
+import (
+	"time"
+
+	"paragonio/internal/disk"
+)
+
+// Tiers is the unified configuration of the what-if cache hierarchy —
+// the one struct pfs and core take whole, replacing the previous
+// arrangement where each layer mirrored a bare *Config field (and would
+// have had to grow a second one for the client tier).
+//
+// Both tiers default to nil: the paper's machine had neither, so
+// canonical runs stay bit-identical to the golden digests.
+type Tiers struct {
+	// IONode, when non-nil, installs a buffer cache on every I/O node
+	// (write-behind, read-ahead — the server-side tier).
+	IONode *Config
+	// Client, when non-nil, installs a lease-coherent cache on every
+	// compute node in front of the PFS data path (the client tier).
+	Client *ClientConfig
+}
+
+// Enabled reports whether any tier is configured.
+func (t Tiers) Enabled() bool { return t.IONode != nil || t.Client != nil }
+
+// WithDefaults fills each configured tier's zero fields — the I/O-node
+// tier against the PFS stripe unit and the backing array, the client
+// tier against its own documented defaults — and validates the result.
+func (t Tiers) WithDefaults(blockSize int64, d disk.Params) (Tiers, error) {
+	if t.IONode != nil {
+		cc, err := t.IONode.WithDefaults(blockSize, d)
+		if err != nil {
+			return Tiers{}, err
+		}
+		t.IONode = &cc
+	}
+	if t.Client != nil {
+		cc, err := t.Client.WithDefaults()
+		if err != nil {
+			return Tiers{}, err
+		}
+		t.Client = &cc
+	}
+	return t, nil
+}
+
+// Validate checks every configured tier. It expects defaults to have
+// been applied (WithDefaults); nil tiers are valid (disabled).
+func (t Tiers) Validate() error {
+	if t.IONode != nil {
+		if err := t.IONode.Validate(); err != nil {
+			return err
+		}
+	}
+	if t.Client != nil {
+		if err := t.Client.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DefaultClientTTL is re-exported for callers building ladders of
+// lease-lifetime variants around the default.
+const DefaultClientTTL = 500 * time.Millisecond

@@ -1,0 +1,60 @@
+// Package cliflags holds the flag parsing shared by the repository's
+// commands (iotables, iobench, benchjson), so the flags mean the same
+// thing — same syntax, same error text — everywhere they appear.
+package cliflags
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// ParseShards resolves a -shards flag value: a positive integer or
+// "auto" (all cores).
+func ParseShards(s string) (int, error) {
+	if s == "auto" {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("invalid -shards %q (want a positive integer or auto)", s)
+	}
+	return n, nil
+}
+
+// DefaultJobs is the shared default for -j style parallelism flags.
+func DefaultJobs() int { return runtime.GOMAXPROCS(0) }
+
+// Only resolves a comma-separated -only flag value against the valid
+// identifiers, returning the selected set. An empty value selects
+// nothing (callers treat that as "everything"). Unknown identifiers are
+// rejected with the full valid list, so a typo shows what was meant.
+func Only(csv, what string, valid []string) (map[string]bool, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	ok := make(map[string]bool, len(valid))
+	for _, v := range valid {
+		ok[v] = true
+	}
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(csv, ",") {
+		id = strings.TrimSpace(id)
+		if !ok[id] {
+			return nil, fmt.Errorf("unknown %s %q (valid: %s)", what, id, strings.Join(valid, ", "))
+		}
+		wanted[id] = true
+	}
+	return wanted, nil
+}
+
+// Sweep validates a -sweep flag value against the valid dimensions.
+func Sweep(s string, valid []string) error {
+	for _, v := range valid {
+		if s == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown sweep %q", s)
+}

@@ -1,0 +1,68 @@
+package cliflags
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestParseShards(t *testing.T) {
+	if n, err := ParseShards("4"); err != nil || n != 4 {
+		t.Errorf("ParseShards(4) = %d, %v", n, err)
+	}
+	if n, err := ParseShards("auto"); err != nil || n != runtime.GOMAXPROCS(0) {
+		t.Errorf("ParseShards(auto) = %d, %v", n, err)
+	}
+	for _, bad := range []string{"", "0", "-2", "two", "1.5"} {
+		_, err := ParseShards(bad)
+		if err == nil {
+			t.Errorf("ParseShards(%q) accepted", bad)
+			continue
+		}
+		// The error text is a compatibility contract: it predates this
+		// package and scripts may match on it.
+		want := `invalid -shards "` + bad + `" (want a positive integer or auto)`
+		if err.Error() != want {
+			t.Errorf("ParseShards(%q) error %q, want %q", bad, err, want)
+		}
+	}
+}
+
+func TestOnly(t *testing.T) {
+	valid := []string{"table1", "table2", "figure1"}
+	if got, err := Only("", "experiment", valid); err != nil || got != nil {
+		t.Errorf("empty -only: %v, %v", got, err)
+	}
+	got, err := Only(" table2 ,figure1", "experiment", valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got["table2"] || !got["figure1"] {
+		t.Errorf("selection %v", got)
+	}
+	_, err = Only("tabel2", "experiment", valid)
+	if err == nil {
+		t.Fatal("typo accepted")
+	}
+	want := `unknown experiment "tabel2" (valid: table1, table2, figure1)`
+	if err.Error() != want {
+		t.Errorf("error %q, want %q", err, want)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	valid := []string{"modes", "request", "cache"}
+	if err := Sweep("cache", valid); err != nil {
+		t.Error(err)
+	}
+	err := Sweep("caches", valid)
+	if err == nil || !strings.Contains(err.Error(), `unknown sweep "caches"`) {
+		t.Errorf("error %v", err)
+	}
+}
+
+func TestDefaultJobs(t *testing.T) {
+	if DefaultJobs() != runtime.GOMAXPROCS(0) {
+		t.Error("DefaultJobs is not GOMAXPROCS")
+	}
+}

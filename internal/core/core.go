@@ -38,9 +38,15 @@ type Config struct {
 	// that snapshots the file system's queues and disk busy time at
 	// this virtual period (Result.Samples).
 	SampleInterval time.Duration
-	// Cache, when non-nil, enables the what-if I/O-node buffer cache
-	// (internal/cache). The paper's machine had none, so canonical runs
-	// leave it nil and stay bit-identical to the golden digests.
+	// Tiers configures the what-if cache hierarchy (I/O-node buffer
+	// cache and/or lease-coherent client tier; see cache.Tiers). The
+	// paper's machine had neither, so canonical runs leave it zero and
+	// stay bit-identical to the golden digests.
+	Tiers cache.Tiers
+	// Cache is the deprecated alias for Tiers.IONode, kept for one
+	// release. Setting both (to different configs) is an error.
+	//
+	// Deprecated: use Tiers.IONode.
 	Cache *cache.Config
 	// Shards, when >= 2, shards the simulation kernel into that many
 	// conservative lanes (capped at the I/O node count) so same-instant
@@ -84,7 +90,8 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	if cfg.StripeUnit != 0 {
 		fcfg.StripeUnit = cfg.StripeUnit
 	}
-	fcfg.Cache = cfg.Cache
+	fcfg.Tiers = cfg.Tiers
+	fcfg.Cache = cfg.Cache // deprecated alias; pfs.New resolves and rejects conflicts
 	if shards := cfg.Shards; shards >= 2 {
 		if shards > fcfg.IONodes {
 			shards = fcfg.IONodes
@@ -120,9 +127,12 @@ type Result struct {
 	// Samples holds utilization snapshots when Config.SampleInterval
 	// was set (nil otherwise).
 	Samples []pfs.UtilSample
-	// Cache holds per-I/O-node cache statistics when Config.Cache was
-	// set (nil otherwise).
+	// Cache holds per-I/O-node cache statistics when the I/O-node tier
+	// was enabled (nil otherwise).
 	Cache []cache.Stats
+	// Client holds the client tier's aggregate statistics (the zero
+	// value when the tier was disabled — Client.Nodes is 0 then).
+	Client cache.ClientStats
 }
 
 // CacheTotals aggregates the per-I/O-node cache statistics (zero when
@@ -176,6 +186,7 @@ func Run(cfg Config, app, version string, script func(m *workload.Machine, seed 
 		Phases:  p.Machine.Phases(),
 		IONodes: p.Machine.FS.IONodeStats(),
 		Cache:   p.Machine.FS.CacheStats(),
+		Client:  p.Machine.FS.ClientStats(),
 	}
 	if sampler != nil {
 		res.Samples = sampler.Samples()

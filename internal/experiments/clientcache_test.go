@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"paragonio/internal/apps/escat"
+	"paragonio/internal/apps/prism"
+	"paragonio/internal/cache"
+	"paragonio/internal/core"
+	"paragonio/internal/sim"
+)
+
+// clientOnTiers is the pinned client-tier configuration of the
+// client-on digest set: 8 MB/node with a lease TTL long enough that
+// the tier actually serves hits in the pinned workloads.
+func clientOnTiers() cache.Tiers {
+	return cache.Tiers{Client: &cache.ClientConfig{
+		CapacityBytes: 8 << 20, LeaseTTL: 10 * time.Minute,
+	}}
+}
+
+// TestClientCacheGoldenDigests pins the client-tier-on runs the same
+// way the canonical runs are pinned: exact FNV-1a digests, bit-identical
+// at shard counts 1, 4, and 16. The client tier lives on lane 0, so the
+// protocol (lease grants, expiries, recalls) must be untouched by how
+// the I/O nodes are sharded. The digests differ from the client-off
+// goldens — the tier changes timings — but the event counts match them:
+// caching changes when I/O happens, never what I/O the program asked for.
+func TestClientCacheGoldenDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size paper workloads skipped in -short mode")
+	}
+	old := sim.DefaultStageMin
+	sim.DefaultStageMin = 2
+	defer func() { sim.DefaultStageMin = old }()
+
+	golden := []struct {
+		key    string
+		events int
+		digest uint64
+		run    func(cfg core.Config) (*core.Result, error)
+	}{
+		{"eth/C", 23768, 0xd7fb3b53679a18a6, func(cfg core.Config) (*core.Result, error) {
+			return escat.RunOn(cfg, escat.Ethylene(), escat.VersionC())
+		}},
+		{"prism/C", 11396, 0x4f35ba3c6c1263b6, func(cfg core.Config) (*core.Result, error) {
+			return prism.RunOn(cfg, prism.TestProblem(), prism.VersionC())
+		}},
+	}
+	for _, shards := range []int{1, 4, 16} {
+		cfg := core.Config{Seed: 1, Shards: shards, Tiers: clientOnTiers()}
+		for _, g := range golden {
+			res, err := g.run(cfg)
+			if err != nil {
+				t.Fatalf("shards=%d %s: %v", shards, g.key, err)
+			}
+			if n := res.Trace.Len(); n != g.events {
+				t.Errorf("shards=%d %s: %d events, golden %d", shards, g.key, n, g.events)
+			}
+			if d := res.Trace.Digest(); d != g.digest {
+				t.Errorf("shards=%d %s: digest %#016x, golden %#016x", shards, g.key, d, g.digest)
+			}
+			if res.Client.Hits == 0 {
+				t.Errorf("shards=%d %s: client tier on but zero hits", shards, g.key)
+			}
+		}
+	}
+}
+
+// TestCacheAliasEquivalence pins the deprecation contract: a run
+// configured through the deprecated core.Config.Cache field is
+// bit-identical to the same run configured through Tiers.IONode.
+func TestCacheAliasEquivalence(t *testing.T) {
+	ion := func() *cache.Config {
+		return &cache.Config{CapacityBytes: 32 << 20, WriteBehind: true, ReadAhead: 4}
+	}
+	viaAlias, err := prism.RunOn(core.Config{Seed: 1, Cache: ion()},
+		prism.TestProblem(), prism.VersionC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTiers, err := prism.RunOn(core.Config{Seed: 1, Tiers: cache.Tiers{IONode: ion()}},
+		prism.TestProblem(), prism.VersionC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := viaAlias.Trace.Digest(), viaTiers.Trace.Digest(); a != b {
+		t.Errorf("deprecated Cache digest %#016x != Tiers.IONode digest %#016x", a, b)
+	}
+	if viaAlias.Exec != viaTiers.Exec {
+		t.Errorf("exec %v (alias) != %v (tiers)", viaAlias.Exec, viaTiers.Exec)
+	}
+	ca, cb := viaAlias.CacheTotals(), viaTiers.CacheTotals()
+	if ca != cb {
+		t.Errorf("cache totals differ: %+v (alias) vs %+v (tiers)", ca, cb)
+	}
+}
+
+// TestClientVariantsShareCanonicalRuns pins the singleflight contract:
+// the tiers-off variant of the clientcache sweep is the canonical run
+// object itself, not a re-execution.
+func TestClientVariantsShareCanonicalRuns(t *testing.T) {
+	vs := clientVariants()
+	if vs[0].tiers.Enabled() {
+		t.Fatalf("first variant %q has tiers enabled", vs[0].id)
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		if seen[v.id] {
+			t.Errorf("duplicate variant id %q", v.id)
+		}
+		seen[v.id] = true
+	}
+	s := NewSuite(1)
+	canonical, err := s.Prism("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := s.PrismClient(vs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonical != shared {
+		t.Error("tiers-off PrismClient re-ran instead of sharing prism/C")
+	}
+	if _, ok := ByID("clientcache"); !ok {
+		t.Error("clientcache experiment not registered")
+	}
+}

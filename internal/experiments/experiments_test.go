@@ -38,8 +38,8 @@ func runExp(t *testing.T, id string) *Artifact {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("experiments = %d, want 15 (5 tables + 9 figures + cachewhatif)", len(all))
+	if len(all) != 16 {
+		t.Fatalf("experiments = %d, want 16 (5 tables + 9 figures + cachewhatif + clientcache)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -196,6 +196,7 @@ func All() []Experiment {
 		{ID: "figure8", Title: "Figure 8: PRISM read sizes over time (A/B/C)", Run: figure8},
 		{ID: "figure9", Title: "Figure 9: PRISM write sizes over time (C)", Run: figure9},
 		{ID: "cachewhatif", Title: "What-if: I/O-node buffer cache (write-behind / read-ahead)", Run: cacheWhatIf},
+		{ID: "clientcache", Title: "What-if: client cache tier with lease coherence", Run: clientCache},
 	}
 }
 

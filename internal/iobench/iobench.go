@@ -88,7 +88,14 @@ type Params struct {
 	IONodes    int
 	StripeUnit int64
 	Seed       int64
-	// Cache, when non-nil, enables the what-if I/O-node buffer cache.
+	// Tiers configures the what-if cache hierarchy (cache.Tiers):
+	// Tiers.IONode the per-I/O-node buffer cache, Tiers.Client the
+	// lease-coherent per-compute-node cache.
+	Tiers cache.Tiers
+	// Cache is the deprecated alias for Tiers.IONode, kept for one
+	// release. Setting both to different configs is an error.
+	//
+	// Deprecated: use Tiers.IONode.
 	Cache *cache.Config
 	// Shards, when >= 2, runs the simulation on a sharded kernel
 	// (core.Config.Shards); results are bit-identical for every value.
@@ -121,6 +128,12 @@ func (p Params) withDefaults() (Params, error) {
 	}
 	if p.Seed == 0 {
 		p.Seed = 1
+	}
+	if p.Cache != nil {
+		if p.Tiers.IONode != nil && p.Tiers.IONode != p.Cache {
+			return p, fmt.Errorf("iobench: both Params.Tiers.IONode and the deprecated Params.Cache are set; use Tiers")
+		}
+		p.Tiers.IONode = p.Cache
 	}
 	return p, nil
 }
@@ -170,7 +183,7 @@ func Run(p Params) (*Result, error) {
 		Seed:       p.Seed,
 		IONodes:    p.IONodes,
 		StripeUnit: p.StripeUnit,
-		Cache:      p.Cache,
+		Tiers:      p.Tiers,
 		Shards:     p.Shards,
 	}
 	res, err := core.Run(cfg, "iobench", p.Kernel.String(),

@@ -5,6 +5,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"paragonio/internal/cache"
 	"paragonio/internal/pfs"
@@ -125,6 +126,51 @@ func SweepCache(base Params) ([]*Result, error) {
 	}
 	results, err := runSweep(params, func(i int, err error) error {
 		return fmt.Errorf("%s cache=%s: %w", base.Kernel, ladder[i].Label, err)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		r.CacheLabel = ladder[i].Label
+	}
+	return results, nil
+}
+
+// ClientCacheConfigs returns the client-tier ladder for
+// SweepClientCache: no cache, the lease-coherent client cache alone,
+// and the client cache stacked on the I/O-node cache. The lease TTL is
+// long because benchmark kernels re-reference within one run; the TTL
+// axis itself is studied by the clientcache experiment family.
+func ClientCacheConfigs() []struct {
+	Label string
+	Tiers cache.Tiers
+} {
+	client := func() *cache.ClientConfig {
+		return &cache.ClientConfig{CapacityBytes: 8 << 20, LeaseTTL: 10 * time.Minute}
+	}
+	return []struct {
+		Label string
+		Tiers cache.Tiers
+	}{
+		{"no-cache", cache.Tiers{}},
+		{"client", cache.Tiers{Client: client()}},
+		{"client+ion", cache.Tiers{
+			Client: client(),
+			IONode: &cache.Config{WriteBehind: true, ReadAhead: 4},
+		}},
+	}
+}
+
+// SweepClientCache runs one kernel/mode across the client-tier ladder.
+func SweepClientCache(base Params) ([]*Result, error) {
+	ladder := ClientCacheConfigs()
+	params := make([]Params, len(ladder))
+	for i, c := range ladder {
+		params[i] = base
+		params[i].Tiers = c.Tiers
+	}
+	results, err := runSweep(params, func(i int, err error) error {
+		return fmt.Errorf("%s clientcache=%s: %w", base.Kernel, ladder[i].Label, err)
 	})
 	if err != nil {
 		return nil, err

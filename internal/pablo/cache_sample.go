@@ -7,10 +7,13 @@ import (
 	"paragonio/internal/sddf"
 )
 
-// CacheSample is one per-I/O-node snapshot of the what-if buffer cache
-// (internal/cache), the second record stream cache experiments carry
-// beside io-events. Fields mirror cache.Stats but are kept plain here so
-// the trace layer does not depend on the cache subsystem.
+// CacheSample is one per-I/O-node snapshot of the what-if cache
+// hierarchy (internal/cache), the second record stream cache experiments
+// carry beside io-events. Fields mirror cache.Stats / cache.ClientStats
+// but are kept plain here so the trace layer does not depend on the
+// cache subsystem. The client-tier fields are tier-wide (the client
+// cache is per compute node, not per I/O node), so writers repeat them
+// on each record of a sampling instant and readers take any one.
 type CacheSample struct {
 	T      time.Duration
 	IONode int
@@ -20,6 +23,13 @@ type CacheSample struct {
 	Stalls int64 // forced-flush stalls so far
 	RAUsed int64 // prefetched blocks later demanded
 	RAIss  int64 // prefetched blocks issued
+
+	// Client tier (zero when disabled; absent in pre-client streams and
+	// parsed as zero for backward compatibility).
+	ClientHits   int64 // client block lookups served node-locally
+	ClientMisses int64 // client block lookups sent to the PFS data path
+	Recalls      int64 // lease recalls delivered to peer holders
+	StaleAverted int64 // recalled blocks resident at the holder (stale reads averted)
 }
 
 // CacheSampleDescriptor returns the cache-sample record type (tag 2).
@@ -35,6 +45,10 @@ func CacheSampleDescriptor() *sddf.Descriptor {
 			{Name: "stalls", Type: sddf.Int},
 			{Name: "ra_used", Type: sddf.Int},
 			{Name: "ra_issued", Type: sddf.Int},
+			{Name: "client_hits", Type: sddf.Int},
+			{Name: "client_misses", Type: sddf.Int},
+			{Name: "recalls", Type: sddf.Int},
+			{Name: "stale_averted", Type: sddf.Int},
 		},
 	}
 }
@@ -43,10 +57,13 @@ func CacheSampleDescriptor() *sddf.Descriptor {
 func CacheSampleRecord(desc *sddf.Descriptor, s CacheSample) (sddf.Record, error) {
 	return sddf.NewRecord(desc,
 		int64(s.T), int64(s.IONode), s.Hits, s.Misses, s.Dirty,
-		s.Stalls, s.RAUsed, s.RAIss)
+		s.Stalls, s.RAUsed, s.RAIss,
+		s.ClientHits, s.ClientMisses, s.Recalls, s.StaleAverted)
 }
 
-// CacheSampleFromRecord parses a cache-sample record back.
+// CacheSampleFromRecord parses a cache-sample record back. The client-
+// tier fields are optional: records written before the client tier
+// existed parse with them zero.
 func CacheSampleFromRecord(rec sddf.Record) (CacheSample, error) {
 	var s CacheSample
 	if rec.Desc == nil || rec.Desc.Name != "cache-sample" {
@@ -63,8 +80,13 @@ func CacheSampleFromRecord(rec sddf.Record) (CacheSample, error) {
 	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7 && ok8) {
 		return s, fmt.Errorf("pablo: cache-sample record missing fields")
 	}
-	return CacheSample{
+	s = CacheSample{
 		T: time.Duration(t), IONode: int(ion), Hits: hits, Misses: misses,
 		Dirty: dirty, Stalls: stalls, RAUsed: raUsed, RAIss: raIss,
-	}, nil
+	}
+	s.ClientHits, _ = rec.Int("client_hits")
+	s.ClientMisses, _ = rec.Int("client_misses")
+	s.Recalls, _ = rec.Int("recalls")
+	s.StaleAverted, _ = rec.Int("stale_averted")
+	return s, nil
 }

@@ -25,11 +25,16 @@ type Config struct {
 	Costs      Costs       // software-path costs
 	Mesh       *mesh.Mesh  // interconnect model (required)
 	BufSize    int64       // client read-buffer size (default = StripeUnit)
-	// Cache, when non-nil, installs a buffer cache on every I/O node (a
-	// what-if extension — Intel PFS had none, which is why it defaults to
-	// off and all canonical paper runs leave it nil). The config's zero
-	// fields are defaulted against StripeUnit and Disk; see
-	// cache.Config.WithDefaults.
+	// Tiers configures the what-if cache hierarchy: Tiers.IONode installs
+	// a buffer cache on every I/O node, Tiers.Client a lease-coherent
+	// cache on every compute node. Both default to nil — Intel PFS had
+	// neither, so all canonical paper runs leave them off. Zero fields
+	// are defaulted at New; see cache.Tiers.WithDefaults.
+	Tiers cache.Tiers
+	// Cache is the deprecated alias for Tiers.IONode, kept for one
+	// release. Setting both (to different configs) is an error.
+	//
+	// Deprecated: use Tiers.IONode.
 	Cache *cache.Config
 }
 
@@ -91,6 +96,7 @@ type FileSystem struct {
 	cfg    Config
 	meta   *sim.Resource
 	ios    []*ioNode
+	client *cache.ClientTier // nil when the client tier is disabled
 	files  map[string]*file
 	tracer pablo.Tracer
 }
@@ -123,12 +129,19 @@ func New(k *sim.Kernel, cfg Config, tracer pablo.Tracer) (*FileSystem, error) {
 		return nil, fmt.Errorf("pfs: negative buffer size %d", cfg.BufSize)
 	}
 	if cfg.Cache != nil {
-		cc, err := cfg.Cache.WithDefaults(cfg.StripeUnit, cfg.Disk)
-		if err != nil {
-			return nil, err
+		if cfg.Tiers.IONode != nil && cfg.Tiers.IONode != cfg.Cache {
+			return nil, fmt.Errorf("pfs: both Config.Tiers.IONode and the deprecated Config.Cache are set; use Tiers")
 		}
-		cfg.Cache = &cc
+		cfg.Tiers.IONode = cfg.Cache
 	}
+	tiers, err := cfg.Tiers.WithDefaults(cfg.StripeUnit, cfg.Disk)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Tiers = tiers
+	// Keep the deprecated alias pointing at the resolved tier so old
+	// readers of Config().Cache keep seeing the effective config.
+	cfg.Cache = tiers.IONode
 	if tracer == nil {
 		tracer = pablo.Discard
 	}
@@ -148,14 +161,21 @@ func New(k *sim.Kernel, cfg Config, tracer pablo.Tracer) (*FileSystem, error) {
 			array: disk.MustNewArray(cfg.Disk),
 		}
 		n.park = "pfs: i/o node " + n.res.Name()
-		if cfg.Cache != nil {
-			c, err := cache.New(k, n.res, n.array, *cfg.Cache)
+		if cfg.Tiers.IONode != nil {
+			c, err := cache.New(k, n.res, n.array, *cfg.Tiers.IONode)
 			if err != nil {
 				return nil, err
 			}
 			n.cache = c
 		}
 		fs.ios = append(fs.ios, n)
+	}
+	if cfg.Tiers.Client != nil {
+		ct, err := cache.NewClientTier(k, cfg.Mesh, *cfg.Tiers.Client)
+		if err != nil {
+			return nil, err
+		}
+		fs.client = ct
 	}
 	return fs, nil
 }
@@ -212,12 +232,12 @@ func (fs *FileSystem) IONodeStats() []disk.Stats {
 func (fs *FileSystem) MetadataStats() sim.ResourceStats { return fs.meta.Stats() }
 
 // Caching reports whether the I/O-node buffer cache is enabled.
-func (fs *FileSystem) Caching() bool { return fs.cfg.Cache != nil }
+func (fs *FileSystem) Caching() bool { return fs.cfg.Tiers.IONode != nil }
 
 // CacheStats returns per-I/O-node cache statistics, indexed by I/O node,
 // or nil when caching is disabled.
 func (fs *FileSystem) CacheStats() []cache.Stats {
-	if fs.cfg.Cache == nil {
+	if fs.cfg.Tiers.IONode == nil {
 		return nil
 	}
 	out := make([]cache.Stats, len(fs.ios))
@@ -225,6 +245,22 @@ func (fs *FileSystem) CacheStats() []cache.Stats {
 		out[i] = io.cache.Stats()
 	}
 	return out
+}
+
+// ClientCaching reports whether the client cache tier is enabled.
+func (fs *FileSystem) ClientCaching() bool { return fs.client != nil }
+
+// ClientTier returns the client cache tier, or nil when disabled. Tests
+// use it to install the coherence oracle's observer.
+func (fs *FileSystem) ClientTier() *cache.ClientTier { return fs.client }
+
+// ClientStats returns the client tier's aggregate statistics (the zero
+// value when the tier is disabled).
+func (fs *FileSystem) ClientStats() cache.ClientStats {
+	if fs.client == nil {
+		return cache.ClientStats{}
+	}
+	return fs.client.Stats()
 }
 
 // lookup returns the file record, creating it if requested.

@@ -128,6 +128,13 @@ func (g *Group) SetIOMode(p *sim.Proc, h *Handle, mode Mode) error {
 		// pointers, buffered data) with every I/O node holding a stripe;
 		// the leader pays that full negotiation while the group waits.
 		g.fs.meta.Use(p, g.fs.cfg.Costs.SetIOMode*time.Duration(len(g.fs.ios)))
+		if ct := g.fs.client; ct != nil {
+			// Renegotiation recalls every node's leases on the file; the
+			// leader absorbs the round-trip while the group waits at bar2.
+			if d := ct.RecallStream(h.node, h.f.name); d > 0 {
+				p.Wait(d)
+			}
+		}
 		h.f.mode = mode
 		h.f.recSize = 0
 		g.err = nil

@@ -67,10 +67,36 @@ func (h *Handle) copyTime(n int64) time.Duration {
 	return time.Duration(float64(n) / h.fs.cfg.Costs.BufferCopyBW * float64(time.Second))
 }
 
-// readData moves n bytes at off to the client, through the read buffer
-// when enabled.
+// readData moves n bytes at off to the client — through the coherent
+// client cache tier when enabled, else through the legacy per-handle
+// read buffer when enabled.
 func (h *Handle) readData(p *sim.Proc, off, n int64) {
 	if n <= 0 {
+		return
+	}
+	if ct := h.fs.client; ct != nil {
+		// The client tier subsumes the legacy read buffer (which has no
+		// invalidation protocol — the reason PRISM's version C turned it
+		// off): while the tier is on, all reads go through it instead.
+		if d, hit := ct.Read(h.node, h.f.name, off, n); hit {
+			p.Wait(d)
+			return
+		}
+		// Miss: fetch whole covering blocks through the PFS data path,
+		// clamped to EOF, then install them under fresh leases and pay
+		// the node-local copy of the requested bytes.
+		bs := ct.BlockSize()
+		lo := off / bs * bs
+		hi := (off + n + bs - 1) / bs * bs
+		if hi > h.f.size {
+			hi = h.f.size
+		}
+		if hi < off+n {
+			hi = off + n
+		}
+		h.fs.xfer(p, h.node, h.f, lo, hi-lo, false)
+		ct.Install(h.node, h.f.name, lo, hi-lo)
+		p.Wait(ct.CopyCost(n))
 		return
 	}
 	if !h.buffered {
@@ -101,8 +127,17 @@ func (h *Handle) readData(p *sim.Proc, off, n int64) {
 }
 
 // writeData moves n bytes at off to disk (write-through) and extends the
-// file. Any read buffer is dropped to keep it coherent.
+// file. Any read buffer is dropped to keep it coherent. With the client
+// tier enabled, the write first runs the coherence protocol: peers
+// holding valid leases on the written blocks are recalled, and the
+// writer waits out the invalidation round-trip before its data leaves
+// the node.
 func (h *Handle) writeData(p *sim.Proc, off, n int64) {
+	if ct := h.fs.client; ct != nil {
+		if d := ct.Write(h.node, h.f.name, off, n); d > 0 {
+			p.Wait(d)
+		}
+	}
 	h.fs.xfer(p, h.node, h.f, off, n, true)
 	if off+n > h.f.size {
 		h.f.size = off + n
@@ -257,6 +292,12 @@ func (h *Handle) SetIOMode(p *sim.Proc, mode Mode) error {
 	// Individual setiomode pays the same per-I/O-node renegotiation as
 	// the collective form.
 	h.fs.meta.Use(p, h.fs.cfg.Costs.SetIOMode*time.Duration(len(h.fs.ios)))
+	if ct := h.fs.client; ct != nil {
+		// Renegotiation recalls every node's leases on the file.
+		if d := ct.RecallStream(h.node, h.f.name); d > 0 {
+			p.Wait(d)
+		}
+	}
 	h.f.mode = mode
 	h.f.recSize = 0
 	h.mode = mode
@@ -273,6 +314,9 @@ func (h *Handle) Flush(p *sim.Proc) error {
 	start := p.Now()
 	p.Wait(h.fs.cfg.Costs.Request)
 	h.bufOff, h.bufLen = 0, 0
+	if ct := h.fs.client; ct != nil {
+		ct.InvalidateLocal(h.node, h.f.name)
+	}
 	h.fs.trace(h.node, pablo.OpFlush, h.f.name, 0, 0, start, h.f.mode)
 	return nil
 }

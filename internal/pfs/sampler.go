@@ -30,6 +30,14 @@ type UtilSample struct {
 	// summed across all I/O-node caches at the sample (0 when caching is
 	// disabled).
 	CacheHits, CacheMisses uint64
+	// ClientHits and ClientMisses are the client tier's cumulative
+	// block-lookup totals at the sample (0 when the tier is disabled).
+	ClientHits, ClientMisses uint64
+	// ClientRecalls and ClientStaleAverted are the client tier's
+	// cumulative coherence counters at the sample: lease recalls
+	// delivered, and recalled blocks that were actually resident (stale
+	// reads averted).
+	ClientRecalls, ClientStaleAverted uint64
 }
 
 // Sampler periodically snapshots a file system from inside the
@@ -81,6 +89,13 @@ func (s *Sampler) take(now time.Duration) {
 			sample.CacheHits += cs.Hits
 			sample.CacheMisses += cs.Misses
 		}
+	}
+	if s.fs.client != nil {
+		cs := s.fs.client.Stats()
+		sample.ClientHits = cs.Hits
+		sample.ClientMisses = cs.Misses
+		sample.ClientRecalls = cs.Recalls
+		sample.ClientStaleAverted = cs.StaleAverted
 	}
 	// Deterministic iteration for reproducible traces: sum over sorted
 	// file names.

@@ -1,0 +1,57 @@
+package pfs
+
+import (
+	"strings"
+	"testing"
+
+	"paragonio/internal/cache"
+	"paragonio/internal/mesh"
+	"paragonio/internal/pablo"
+	"paragonio/internal/sim"
+)
+
+// TestDeprecatedCacheAlias pins the one-release deprecation contract of
+// Config.Cache: alone it behaves exactly like Tiers.IONode, resolved
+// configs stay visible through both fields, and setting the two to
+// different values is a configuration error rather than a silent pick.
+func TestDeprecatedCacheAlias(t *testing.T) {
+	newFS := func(cfg Config) (*FileSystem, error) {
+		return New(sim.NewKernel(), cfg, pablo.NewTrace())
+	}
+
+	// Deprecated field alone: resolved into Tiers.IONode, and readers of
+	// either field see the same effective (defaulted) config.
+	cfg := DefaultConfig(mesh.MustNew(mesh.DefaultConfig()))
+	cfg.Cache = &cache.Config{WriteBehind: true}
+	fs, err := newFS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Caching() {
+		t.Error("deprecated Cache field did not enable the I/O-node tier")
+	}
+	got := fs.Config()
+	if got.Tiers.IONode == nil || got.Cache != got.Tiers.IONode {
+		t.Errorf("alias not resolved: Cache=%p Tiers.IONode=%p", got.Cache, got.Tiers.IONode)
+	}
+	if got.Tiers.IONode.BlockSize == 0 {
+		t.Error("resolved config not defaulted")
+	}
+
+	// Same pointer in both fields is fine (callers migrating piecemeal).
+	cfg = DefaultConfig(mesh.MustNew(mesh.DefaultConfig()))
+	c := &cache.Config{WriteBehind: true}
+	cfg.Cache = c
+	cfg.Tiers.IONode = c
+	if _, err := newFS(cfg); err != nil {
+		t.Errorf("same config in both fields rejected: %v", err)
+	}
+
+	// Conflicting values must be rejected loudly.
+	cfg = DefaultConfig(mesh.MustNew(mesh.DefaultConfig()))
+	cfg.Cache = &cache.Config{WriteBehind: true}
+	cfg.Tiers.IONode = &cache.Config{ReadAhead: 2}
+	if _, err := newFS(cfg); err == nil || !strings.Contains(err.Error(), "deprecated") {
+		t.Errorf("conflicting Cache/Tiers.IONode: err = %v, want deprecation conflict", err)
+	}
+}
