@@ -1,7 +1,7 @@
 # paragonio — reproduction of Smirni et al., HPDC 1996.
 GO ?= go
 
-.PHONY: all build test test-short vet vet-race vet-race-clientcache fmt bench bench-smoke bench-json tables experiments clean
+.PHONY: all build test test-short vet vet-race vet-race-clientcache fmt bench bench-smoke bench-json tables experiments docs-verify clean
 
 all: build test
 
@@ -60,6 +60,11 @@ tables:
 
 experiments:
 	$(GO) run ./cmd/iotables -summary
+
+# Run every shell command documented in README.md and docs/ADVISOR.md
+# code fences, so the quickstarts cannot rot.
+docs-verify:
+	bash scripts/docs-verify.sh
 
 clean:
 	rm -rf artifacts

@@ -27,7 +27,7 @@ import (
 func main() {
 	var (
 		kernel  = flag.String("kernel", "", "kernel slug (empty = all)")
-		sweep   = flag.String("sweep", "modes", "sweep dimension: modes, request, ionodes, cache, clientcache")
+		sweep   = flag.String("sweep", "modes", "sweep dimension: modes, request, ionodes, cache, clientcache, advisor, flush")
 		mode    = flag.String("mode", "M_ASYNC", "access mode for request/ionodes sweeps")
 		nodes   = flag.Int("nodes", 32, "compute nodes")
 		request = flag.Int64("request", 128<<10, "request size (bytes)")
@@ -97,15 +97,26 @@ func run(kernel, sweep, modeName string, nodes int, request, volume, seed int64,
 		case "clientcache":
 			results, err = iobench.SweepClientCache(base)
 			label = func(r *iobench.Result) string { return r.CacheLabel }
+		case "advisor":
+			results, err = iobench.SweepAdvisor(base)
+			label = func(r *iobench.Result) string { return r.CacheLabel }
+		case "flush":
+			results, err = iobench.SweepFlush(base)
 		default:
-			return cliflags.Sweep(sweep, []string{"modes", "request", "ionodes", "cache", "clientcache"})
+			return cliflags.Sweep(sweep,
+				[]string{"modes", "request", "ionodes", "cache", "clientcache", "advisor", "flush"})
 		}
 		if err != nil {
 			return err
 		}
 		title := fmt.Sprintf("%s: %d nodes, %d KB requests, %d MB volume (sweep: %s)",
 			k, nodes, request>>10, volume>>20, sweep)
-		if err := iobench.WriteTable(os.Stdout, title, results, label); err != nil {
+		if sweep == "flush" {
+			err = iobench.WriteFlushTable(os.Stdout, title, results)
+		} else {
+			err = iobench.WriteTable(os.Stdout, title, results, label)
+		}
+		if err != nil {
 			return err
 		}
 		fmt.Println()

@@ -74,16 +74,9 @@ func run(app, dataset, version string, seed int64, traceTo string, advise bool) 
 	printResult(res)
 	if advise {
 		fmt.Println()
-		recs := policy.AdviseAll(policy.Classify(res.Trace), policy.Options{})
-		if len(recs) == 0 {
-			fmt.Println("advisor: access patterns already fit the file system")
-		} else {
-			rows := make([][]string, 0, len(recs))
-			for _, r := range recs {
-				rows = append(rows, []string{r.File, r.Kind.String(), r.Reason})
-			}
-			report.Table(os.Stdout, "File system policy advice",
-				[]string{"File", "Recommendation", "Why"}, rows)
+		if err := policy.WriteAdvice(os.Stdout, policy.Classify(res.Trace),
+			policy.Options{}, policy.CacheOptions{}); err != nil {
+			return err
 		}
 	}
 	if traceTo != "" {

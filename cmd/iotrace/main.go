@@ -405,17 +405,7 @@ func taxonomy(tr *pablo.Trace) error {
 }
 
 func advise(tr *pablo.Trace) error {
-	recs := policy.AdviseAll(policy.Classify(tr), policy.Options{})
-	if len(recs) == 0 {
-		fmt.Println("no recommendations: observed access patterns already fit the file system")
-		return nil
-	}
-	var rows [][]string
-	for _, r := range recs {
-		rows = append(rows, []string{r.File, r.Kind.String(), r.Reason})
-	}
-	return report.Table(os.Stdout, "File system policy advice",
-		[]string{"File", "Recommendation", "Why"}, rows)
+	return policy.WriteAdvice(os.Stdout, policy.Classify(tr), policy.Options{}, policy.CacheOptions{})
 }
 
 func regions(tr *pablo.Trace, file string, width int64) error {

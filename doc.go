@@ -8,6 +8,11 @@
 //
 // See README.md for the layout, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The cache-aware policy advisor — internal/policy classifying traces
+// into concrete cache.Tiers recommendations, validated closed-loop by
+// the experiments package's advisor family — is catalogued in
+// docs/ADVISOR.md; the write-behind flush-policy state machine
+// (high-water + idle vs deadline) is documented on internal/cache.
 // The benchmark harness in bench_test.go regenerates each artifact:
 //
 //	go test -bench=Table -benchtime=1x

@@ -12,9 +12,9 @@
 //
 //   - write-behind: dirty blocks are acknowledged at memory-copy cost and
 //     flushed asynchronously by a background flusher that drains in
-//     batches, immediately above a dirty-block high-water mark and after
-//     an idle delay otherwise; reads of dirty blocks hit the cache, so
-//     ordering is trivially correct (the array only ever sees flushes);
+//     batches; reads of dirty blocks hit the cache, so ordering is
+//     trivially correct (the array only ever sees flushes). Two flush
+//     policies govern when a pass runs — see below;
 //   - sequential read-ahead: a per-stream constant-stride detector (in
 //     block space — one file's stripes visit an I/O node with a constant
 //     stride) prefetches N blocks ahead and cancels queued prefetches
@@ -23,6 +23,38 @@
 //     issued/used/cancelled, dirty-queue depth and high-water mark,
 //     forced-flush stalls — so experiments can explain *why* a
 //     configuration wins, not just that it does.
+//
+// # Flush-policy state machine
+//
+// The write-behind flusher is a small state machine with two policies,
+// selected by Config.FlushDeadline:
+//
+//   - High-water + idle (FlushDeadline == 0, the legacy policy). At most
+//     one timer is armed at a time. When a block goes dirty, the flusher
+//     arms a pass after IdleFlush — or immediately when the dirty count
+//     is at or above DirtyHighWater. A pass writes up to FlushBatch of
+//     the oldest dirty blocks while holding the I/O node resource, then
+//     re-arms itself while dirty blocks remain.
+//
+//   - Deadline (FlushDeadline > 0). Every dirty block must reach the
+//     array within FlushDeadline of first becoming dirty. Below the
+//     high-water mark a pass writes only deadline-expired blocks, so
+//     young blocks keep accumulating into bigger, later batches; the
+//     next pass is armed for the oldest dirty block's deadline. At or
+//     above DirtyHighWater a pass runs immediately and drains oldest-
+//     first regardless of age (the safety valve is shared between the
+//     policies). Because a pass can be armed far in the future, the
+//     policy tracks every armed fire time and adds an earlier timer
+//     when a high-water breach demands one; a timer whose work an
+//     earlier pass already drained fires as a no-op.
+//
+// In both policies, an eviction that finds the LRU victim dirty writes
+// it synchronously under the foreground request and counts a
+// Stats.ForcedFlushStalls — the cost of letting the dirty queue outrun
+// the flusher. Stats.DeadlineFlushes counts passes whose batch was
+// limited to deadline-expired blocks. The experiments package's
+// flushpolicy study races the two policies against bursty checkpoint
+// writers.
 //
 // Everything the cache does to the array happens while holding the I/O
 // node's FIFO resource (Access runs at grant time; the flusher and
@@ -80,6 +112,12 @@ type Config struct {
 	// IdleFlush is how long a dirty block may linger below the high-water
 	// mark before a background flush picks it up (default 50 ms).
 	IdleFlush time.Duration
+	// FlushDeadline selects the deadline flush policy: every dirty block
+	// is written within FlushDeadline of first becoming dirty, and below
+	// the high-water mark the flusher writes only deadline-expired blocks.
+	// 0 (the default) keeps the high-water + idle policy, in which a
+	// flusher pass drains the oldest dirty blocks regardless of age.
+	FlushDeadline time.Duration
 	// CopyBW is the memory-copy bandwidth in bytes/second used to price
 	// cache-to-client transfers (default 80 MB/s — server DRAM, faster
 	// than the clients' 25 MB/s buffer copies).
@@ -146,6 +184,9 @@ func (c Config) Validate() error {
 	if c.IdleFlush <= 0 {
 		return fmt.Errorf("cache: IdleFlush = %v, need > 0", c.IdleFlush)
 	}
+	if c.FlushDeadline < 0 {
+		return fmt.Errorf("cache: negative FlushDeadline %v", c.FlushDeadline)
+	}
 	if c.CopyBW <= 0 {
 		return fmt.Errorf("cache: CopyBW = %g, need > 0", c.CopyBW)
 	}
@@ -163,6 +204,7 @@ type Stats struct {
 	WriteBehindBytes  int64  // payload bytes acknowledged at copy cost
 	Flushes           uint64 // background flusher passes that wrote blocks
 	FlushedBlocks     uint64 // dirty blocks written by the background flusher
+	DeadlineFlushes   uint64 // flusher passes limited to deadline-expired blocks (FlushDeadline > 0)
 	ForcedFlushStalls uint64 // dirty LRU victims written synchronously under a foreground request
 
 	Dirty    int // dirty blocks right now
@@ -199,6 +241,7 @@ func (s *Stats) Add(o Stats) {
 	s.WriteBehindBytes += o.WriteBehindBytes
 	s.Flushes += o.Flushes
 	s.FlushedBlocks += o.FlushedBlocks
+	s.DeadlineFlushes += o.DeadlineFlushes
 	s.ForcedFlushStalls += o.ForcedFlushStalls
 	s.Dirty += o.Dirty
 	if o.MaxDirty > s.MaxDirty {
@@ -221,8 +264,9 @@ type blockKey struct {
 type block struct {
 	key        blockKey
 	dirty      bool
-	queued     bool // has an entry in the dirty FIFO
-	prefetched bool // brought in by read-ahead, not yet demanded
+	queued     bool     // has an entry in the dirty FIFO
+	prefetched bool     // brought in by read-ahead, not yet demanded
+	dirtyAt    sim.Time // when the block last went clean → dirty (deadline policy clock)
 	prev, next *block
 }
 
@@ -243,6 +287,7 @@ type keyQueue struct {
 
 func (q *keyQueue) push(k blockKey) { q.buf = append(q.buf, k) }
 func (q *keyQueue) len() int        { return len(q.buf) - q.head }
+func (q *keyQueue) peek() blockKey  { return q.buf[q.head] }
 func (q *keyQueue) pop() blockKey {
 	k := q.buf[q.head]
 	q.buf[q.head] = blockKey{}
@@ -273,7 +318,9 @@ type Cache struct {
 	dirtyCount int
 	streams    map[string]*stream
 
-	flushPending bool
+	flushPending bool       // high-water + idle policy: one timer armed or pass running
+	flushq       []sim.Time // deadline policy: fire times of armed timers, ascending
+	inflight     int        // deadline policy: flusher passes issued, not yet completed
 	stats        Stats
 }
 
@@ -391,6 +438,7 @@ func (c *Cache) writeBlock(streamName string, idx, n int64) time.Duration {
 	b.prefetched = false
 	if !b.dirty {
 		b.dirty = true
+		b.dirtyAt = c.k.Now()
 		c.dirtyCount++
 		if c.dirtyCount > c.stats.MaxDirty {
 			c.stats.MaxDirty = c.dirtyCount
@@ -402,7 +450,7 @@ func (c *Cache) writeBlock(streamName string, idx, n int64) time.Duration {
 	}
 	c.stats.WriteBehindBytes += n
 	d += c.cfg.HitCost + c.copyTime(n)
-	c.scheduleFlush(c.cfg.IdleFlush)
+	c.scheduleFlush()
 	return d
 }
 
@@ -472,41 +520,115 @@ func (c *Cache) evictOne() time.Duration {
 
 // --- write-behind flusher --------------------------------------------
 
-// scheduleFlush arms the background flusher after delay, if it is not
-// already armed and there is dirty data. Above the high-water mark the
-// flusher runs at once. The flusher is entirely callback-shaped: it only
-// reschedules itself while dirty blocks remain, so a cached run's event
-// queue drains and Kernel.Run terminates normally.
-func (c *Cache) scheduleFlush(delay time.Duration) {
-	if c.flushPending || c.dirtyCount == 0 {
+// oldestDirty returns the head of the dirty FIFO — the longest-dirty live
+// block — dropping stale entries for blocks that were force-flushed or
+// evicted since they were queued. Because a push happens exactly when a
+// block goes clean → dirty, the FIFO is ordered by dirtyAt.
+func (c *Cache) oldestDirty() *block {
+	for c.dirtyq.len() > 0 {
+		b := c.blocks[c.dirtyq.peek()]
+		if b == nil || !b.dirty {
+			if b != nil {
+				b.queued = false
+			}
+			c.dirtyq.pop()
+			continue
+		}
+		return b
+	}
+	return nil
+}
+
+// scheduleFlush arms the background flusher when there is dirty data.
+// Above the high-water mark the flusher runs at once; below it, the
+// high-water + idle policy waits IdleFlush, while the deadline policy
+// (FlushDeadline > 0) waits until the oldest dirty block's deadline. The
+// flusher is entirely callback-shaped: it only reschedules itself while
+// dirty blocks remain, so a cached run's event queue drains and
+// Kernel.Run terminates normally.
+//
+// The two policies differ structurally: the idle policy keeps at most
+// one timer armed (it only ever arms IdleFlush or 0, which fires soon),
+// while the deadline policy can be armed far in the future when a
+// high-water breach demands an immediate pass, so it tracks every armed
+// fire time and adds an extra, earlier timer when the armed ones are too
+// late; a timer whose work was drained by an earlier pass fires as a
+// no-op without touching the resource.
+func (c *Cache) scheduleFlush() {
+	if c.dirtyCount == 0 {
 		return
+	}
+	if c.cfg.FlushDeadline == 0 {
+		if c.flushPending {
+			return
+		}
+		delay := c.cfg.IdleFlush
+		if c.dirtyCount >= c.cfg.DirtyHighWater {
+			delay = 0
+		}
+		c.flushPending = true
+		c.sched.After(delay, func() {
+			c.res.UseFn(c.flushHold, c.flushDone)
+		})
+		return
+	}
+	now := c.k.Now()
+	delay := c.cfg.IdleFlush
+	if b := c.oldestDirty(); b != nil {
+		delay = b.dirtyAt + c.cfg.FlushDeadline - now
+		if delay < 0 {
+			delay = 0
+		}
 	}
 	if c.dirtyCount >= c.cfg.DirtyHighWater {
 		delay = 0
 	}
-	c.flushPending = true
+	at := now + delay
+	if len(c.flushq) > 0 && c.flushq[0] <= at {
+		return // an armed timer already fires soon enough
+	}
+	if delay == 0 && c.inflight > 0 {
+		return // an immediate pass is already queued on the resource
+	}
+	// Insert at, keeping flushq ascending (it is at most a few entries).
+	i := len(c.flushq)
+	c.flushq = append(c.flushq, 0)
+	for i > 0 && c.flushq[i-1] > at {
+		c.flushq[i] = c.flushq[i-1]
+		i--
+	}
+	c.flushq[i] = at
 	c.sched.After(delay, func() {
+		// Timers fire in time order, so this firing is flushq's head.
+		c.flushq = c.flushq[1:]
+		if c.dirtyCount == 0 {
+			return // stale: an earlier pass drained everything
+		}
+		c.inflight++
 		c.res.UseFn(c.flushHold, c.flushDone)
 	})
 }
 
 // flushHold runs at grant time on the I/O node's resource: it writes up
 // to FlushBatch of the oldest dirty blocks and prices the hold with their
-// service time.
+// service time. Under the deadline policy a pass below the high-water
+// mark writes only blocks whose deadline has expired, so young dirty data
+// keeps absorbing rewrites until its own deadline; high-water pressure
+// still drains a full batch regardless of age.
 func (c *Cache) flushHold() sim.Time {
+	expiredOnly := c.cfg.FlushDeadline > 0 && c.dirtyCount < c.cfg.DirtyHighWater
+	now := c.k.Now()
 	var d time.Duration
 	wrote := 0
 	for wrote < c.cfg.FlushBatch && c.dirtyCount > 0 {
-		k := c.dirtyq.pop()
-		b := c.blocks[k]
-		if b == nil || !b.dirty {
-			// Stale queue entry: the block was evicted (forced flush) or
-			// rewritten since. Skip without counting against the batch.
-			if b != nil {
-				b.queued = false
-			}
-			continue
+		b := c.oldestDirty()
+		if b == nil {
+			break
 		}
+		if expiredOnly && b.dirtyAt+c.cfg.FlushDeadline > now {
+			break
+		}
+		k := c.dirtyq.pop()
 		b.queued = false
 		b.dirty = false
 		c.dirtyCount--
@@ -516,14 +638,21 @@ func (c *Cache) flushHold() sim.Time {
 	}
 	if wrote > 0 {
 		c.stats.Flushes++
+		if expiredOnly {
+			c.stats.DeadlineFlushes++
+		}
 	}
 	return d
 }
 
 // flushDone re-arms the flusher if dirty blocks remain.
 func (c *Cache) flushDone() {
-	c.flushPending = false
-	c.scheduleFlush(c.cfg.IdleFlush)
+	if c.cfg.FlushDeadline == 0 {
+		c.flushPending = false
+	} else {
+		c.inflight--
+	}
+	c.scheduleFlush()
 }
 
 // --- read-ahead -------------------------------------------------------

@@ -87,6 +87,7 @@ func TestConfigValidation(t *testing.T) {
 		{"negative read-ahead", func(c *Config) { c.ReadAhead = -1 }},
 		{"negative hit cost", func(c *Config) { c.HitCost = -time.Microsecond }},
 		{"negative copy bw", func(c *Config) { c.CopyBW = -1 }},
+		{"negative flush deadline", func(c *Config) { c.FlushDeadline = -time.Millisecond }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -213,6 +214,66 @@ func TestLRUEvictionAndForcedFlushStall(t *testing.T) {
 	}
 	if stalled <= clean {
 		t.Fatalf("stalled write (%v) not slower than clean ack (%v)", stalled, clean)
+	}
+}
+
+// TestDeadlinePolicyFlushesByAge contrasts the two flush policies on the
+// same two-write program: below the high-water mark the deadline policy
+// writes each block within FlushDeadline of its first dirtying (two
+// single-block passes), while the high-water + idle policy drains both in
+// one batch when the idle timer fires.
+func TestDeadlinePolicyFlushesByAge(t *testing.T) {
+	program := func(p *sim.Proc, access func(stream string, off, size int64, write bool)) {
+		access("f", 0, testBlock, true)
+		p.Wait(3 * time.Millisecond)
+		access("f", testBlock, testBlock, true)
+	}
+
+	idle := newRig(t, func(c *Config) {
+		c.IdleFlush = 5 * time.Millisecond
+		c.DirtyHighWater = 100
+	})
+	idle.do(t, program)
+	if s := idle.c.Stats(); s.Flushes != 1 || s.FlushedBlocks != 2 || s.DeadlineFlushes != 0 {
+		t.Fatalf("high-water+idle stats = %+v, want one 2-block pass and no deadline passes", s)
+	}
+
+	dl := newRig(t, func(c *Config) {
+		c.IdleFlush = time.Hour // idle clock must not fire under the deadline policy
+		c.FlushDeadline = 5 * time.Millisecond
+		c.DirtyHighWater = 100
+	})
+	dl.do(t, program)
+	if s := dl.c.Stats(); s.Flushes != 2 || s.FlushedBlocks != 2 || s.DeadlineFlushes != 2 {
+		t.Fatalf("deadline stats = %+v, want two single-block deadline passes", s)
+	}
+	if s := dl.c.Stats(); s.Dirty != 0 {
+		t.Fatalf("Dirty = %d after run end, want 0", s.Dirty)
+	}
+}
+
+// TestDeadlineHighWaterStillDrains pins that a high-water breach drains a
+// full batch immediately even when the armed deadline is far away.
+func TestDeadlineHighWaterStillDrains(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		c.FlushDeadline = time.Hour
+		c.IdleFlush = time.Hour
+		c.DirtyHighWater = 2
+	})
+	r.do(t, func(p *sim.Proc, access func(stream string, off, size int64, write bool)) {
+		for i := int64(0); i < 4; i++ {
+			access("f", i*testBlock, testBlock, true)
+		}
+		// Well before the 1 h deadline, high-water pressure must already
+		// have drained everything.
+		p.Wait(time.Second)
+		if d := r.c.Dirty(); d != 0 {
+			t.Errorf("Dirty = %d one second in, want 0 (high-water breach waited for the deadline)", d)
+		}
+	})
+	s := r.c.Stats()
+	if s.Dirty != 0 || s.FlushedBlocks != 4 {
+		t.Fatalf("stats = %+v, want all 4 blocks drained by high-water pressure", s)
 	}
 }
 

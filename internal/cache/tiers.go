@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"fmt"
+	"strings"
 	"time"
 
 	"paragonio/internal/disk"
@@ -65,3 +67,67 @@ func (t Tiers) Validate() error {
 // DefaultClientTTL is re-exported for callers building ladders of
 // lease-lifetime variants around the default.
 const DefaultClientTTL = 500 * time.Millisecond
+
+// String renders the configured tiers compactly and deterministically —
+// the form the advisor prints and docs/ADVISOR.md pins, e.g.
+// "ionode{wb=on ra=off cap=4MB} + client{cap=8MB ttl=12m0s}".
+func (t Tiers) String() string {
+	if !t.Enabled() {
+		return "none (paper default)"
+	}
+	var parts []string
+	if c := t.IONode; c != nil {
+		seg := fmt.Sprintf("ionode{wb=%s ra=%s", onOff(c.WriteBehind), depth(c.ReadAhead))
+		if c.CapacityBytes > 0 {
+			seg += " cap=" + FormatSize(c.CapacityBytes)
+		}
+		if c.FlushDeadline > 0 {
+			seg += fmt.Sprintf(" deadline=%v", c.FlushDeadline)
+		}
+		parts = append(parts, seg+"}")
+	}
+	if c := t.Client; c != nil {
+		seg := "client{"
+		if c.CapacityBytes > 0 {
+			seg += "cap=" + FormatSize(c.CapacityBytes) + " "
+		}
+		if c.LeaseTTL > 0 {
+			seg += fmt.Sprintf("ttl=%v", c.LeaseTTL)
+		} else {
+			seg += fmt.Sprintf("ttl=%v (default)", DefaultClientTTL)
+		}
+		parts = append(parts, seg+"}")
+	}
+	return strings.Join(parts, " + ")
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+func depth(n int) string {
+	if n <= 0 {
+		return "off"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// FormatSize renders a byte count in binary units — whole ("64KB",
+// "4MB") when exact, one decimal otherwise ("10.2MB").
+func FormatSize(n int64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

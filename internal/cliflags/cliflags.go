@@ -50,11 +50,13 @@ func Only(csv, what string, valid []string) (map[string]bool, error) {
 }
 
 // Sweep validates a -sweep flag value against the valid dimensions.
+// Unknown values are rejected with the full valid list, matching the
+// Only error shape, so a typo shows what was meant.
 func Sweep(s string, valid []string) error {
 	for _, v := range valid {
 		if s == v {
 			return nil
 		}
 	}
-	return fmt.Errorf("unknown sweep %q", s)
+	return fmt.Errorf("unknown sweep %q (valid: %s)", s, strings.Join(valid, ", "))
 }

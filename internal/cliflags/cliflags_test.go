@@ -2,7 +2,6 @@ package cliflags
 
 import (
 	"runtime"
-	"strings"
 	"testing"
 )
 
@@ -56,8 +55,14 @@ func TestSweep(t *testing.T) {
 		t.Error(err)
 	}
 	err := Sweep("caches", valid)
-	if err == nil || !strings.Contains(err.Error(), `unknown sweep "caches"`) {
-		t.Errorf("error %v", err)
+	if err == nil {
+		t.Fatal("typo accepted")
+	}
+	// Pinned error text: like Only, a rejected -sweep lists every valid
+	// dimension so a typo shows what was meant.
+	want := `unknown sweep "caches" (valid: modes, request, cache)`
+	if err.Error() != want {
+		t.Errorf("error %q, want %q", err, want)
 	}
 }
 

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"paragonio/internal/policy"
+)
+
+// TestAdvisorTranscriptInSync regenerates the worked `iotrace advise`
+// transcript in docs/ADVISOR.md (the ESCAT ethylene version A trace at
+// seed 1) and fails if the document drifted from what the advisor
+// actually prints. Update the fenced block between the
+// advise-transcript markers when the advisor's output changes on
+// purpose.
+func TestAdvisorTranscriptInSync(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/ADVISOR.md")
+	if err != nil {
+		t.Fatalf("read ADVISOR.md: %v", err)
+	}
+	const begin = "<!-- advise-transcript:begin -->"
+	const end = "<!-- advise-transcript:end -->"
+	s := string(doc)
+	i := strings.Index(s, begin)
+	j := strings.Index(s, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("ADVISOR.md transcript markers missing or out of order")
+	}
+	block := s[i+len(begin) : j]
+	// Strip the ```text fence around the transcript.
+	block = strings.TrimSpace(block)
+	block = strings.TrimPrefix(block, "```text")
+	block = strings.TrimSuffix(block, "```")
+	want := strings.TrimSpace(block)
+
+	suite := NewSuite(1)
+	res, err := suite.Ethylene("A")
+	if err != nil {
+		t.Fatalf("ethylene A: %v", err)
+	}
+	var b strings.Builder
+	if err := policy.WriteAdvice(&b, policy.Classify(res.Trace),
+		policy.Options{}, policy.CacheOptions{}); err != nil {
+		t.Fatalf("WriteAdvice: %v", err)
+	}
+	got := strings.TrimSpace(b.String())
+
+	if got != want {
+		t.Errorf("docs/ADVISOR.md transcript is stale.\n--- regenerated ---\n%s\n--- documented ---\n%s", got, want)
+	}
+}

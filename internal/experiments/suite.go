@@ -197,6 +197,8 @@ func All() []Experiment {
 		{ID: "figure9", Title: "Figure 9: PRISM write sizes over time (C)", Run: figure9},
 		{ID: "cachewhatif", Title: "What-if: I/O-node buffer cache (write-behind / read-ahead)", Run: cacheWhatIf},
 		{ID: "clientcache", Title: "What-if: client cache tier with lease coherence", Run: clientCache},
+		{ID: "advisor", Title: "Closed loop: advised cache tiers vs oracle-best sweeps", Run: advisorExp},
+		{ID: "flushpolicy", Title: "Flush-policy study: high-water + idle vs deadline write-behind", Run: flushPolicy},
 	}
 }
 

@@ -152,6 +152,14 @@ type Result struct {
 	// CacheLabel names the cache rung for SweepCache results ("" for
 	// other sweeps).
 	CacheLabel string
+	// Cache aggregates the I/O-node cache tier's counters across all
+	// I/O nodes (zero value when the tier is off) — the flush-policy
+	// sweep reads stall and flush counts from here.
+	Cache cache.Stats
+
+	// trace is the run's event trace, kept for the advisor sweep
+	// (classification needs the events, not just the counts).
+	trace *pablo.Trace
 }
 
 // BandwidthMBs returns achieved aggregate bandwidth in MB/s of virtual
@@ -193,7 +201,8 @@ func Run(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Params: p, Wall: res.Exec, TraceLen: res.Trace.Len()}
+	out := &Result{Params: p, Wall: res.Exec, TraceLen: res.Trace.Len(),
+		Cache: res.CacheTotals(), trace: res.Trace}
 	var durs []float64
 	for _, ev := range res.Trace.Events() {
 		switch ev.Op {

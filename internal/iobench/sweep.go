@@ -9,6 +9,7 @@ import (
 
 	"paragonio/internal/cache"
 	"paragonio/internal/pfs"
+	"paragonio/internal/policy"
 	"paragonio/internal/report"
 )
 
@@ -179,6 +180,116 @@ func SweepClientCache(base Params) ([]*Result, error) {
 		r.CacheLabel = ladder[i].Label
 	}
 	return results, nil
+}
+
+// FlushConfigs returns the flush-policy ladder for SweepFlush: the
+// legacy high-water + idle policy and the deadline policy across batch
+// size, watermark, and deadline settings. Capacity is held at 2 MB so a
+// checkpoint burst overruns it — the regime where the flush policy,
+// not the cache size, decides how many writes stall.
+func FlushConfigs() []struct {
+	Label string
+	Cfg   *cache.Config
+} {
+	mk := func(batch, hw int, deadline time.Duration) *cache.Config {
+		return &cache.Config{
+			WriteBehind:    true,
+			CapacityBytes:  2 << 20,
+			FlushBatch:     batch,
+			DirtyHighWater: hw,
+			FlushDeadline:  deadline,
+		}
+	}
+	return []struct {
+		Label string
+		Cfg   *cache.Config
+	}{
+		{"hw-idle b=4 hw=25%", mk(4, 8, 0)},
+		{"hw-idle b=4 hw=75%", mk(4, 24, 0)},
+		{"hw-idle b=32 hw=25%", mk(32, 8, 0)},
+		{"hw-idle b=32 hw=75%", mk(32, 24, 0)},
+		{"deadline=50ms b=4 hw=25%", mk(4, 8, 50*time.Millisecond)},
+		{"deadline=50ms b=4 hw=75%", mk(4, 24, 50*time.Millisecond)},
+		{"deadline=50ms b=32 hw=25%", mk(32, 8, 50*time.Millisecond)},
+		{"deadline=50ms b=32 hw=75%", mk(32, 24, 50*time.Millisecond)},
+		{"deadline=1s b=4 hw=25%", mk(4, 8, time.Second)},
+		{"deadline=1s b=4 hw=75%", mk(4, 24, time.Second)},
+		{"deadline=1s b=32 hw=25%", mk(32, 8, time.Second)},
+		{"deadline=1s b=32 hw=75%", mk(32, 24, time.Second)},
+	}
+}
+
+// SweepFlush runs one kernel/mode across the flush-policy ladder.
+func SweepFlush(base Params) ([]*Result, error) {
+	ladder := FlushConfigs()
+	params := make([]Params, len(ladder))
+	for i, c := range ladder {
+		params[i] = base
+		params[i].Cache = nil
+		params[i].Tiers = cache.Tiers{IONode: c.Cfg}
+	}
+	results, err := runSweep(params, func(i int, err error) error {
+		return fmt.Errorf("%s flush=%s: %w", base.Kernel, ladder[i].Label, err)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		r.CacheLabel = ladder[i].Label
+	}
+	return results, nil
+}
+
+// SweepAdvisor closes the advisor loop on one kernel: run it bare,
+// classify the trace (policy.Classify), derive a cache configuration
+// (policy.AdviseTiers), and re-run under the advised tiers. Two rows
+// come back: the bare run and the advised run, labelled with the
+// advised cache.Tiers.
+func SweepAdvisor(base Params) ([]*Result, error) {
+	bare := base
+	bare.Cache = nil
+	bare.Tiers = cache.Tiers{}
+	baseRes, err := Run(bare)
+	if err != nil {
+		return nil, err
+	}
+	ionodes := base.IONodes
+	if ionodes == 0 {
+		ionodes = 16
+	}
+	plan := policy.AdviseTiers(policy.Classify(baseRes.trace),
+		policy.CacheOptions{IONodes: ionodes})
+	advised := bare
+	advised.Tiers = plan.Tiers
+	advRes, err := Run(advised)
+	if err != nil {
+		return nil, err
+	}
+	baseRes.CacheLabel = "no-cache"
+	advRes.CacheLabel = "advised: " + plan.Tiers.String()
+	return []*Result{baseRes, advRes}, nil
+}
+
+// WriteFlushTable renders flush-sweep results with the policy counters
+// WriteTable omits: forced-flush stalls, flusher passes, deadline-
+// limited passes, and the dirty-queue high-water mark.
+func WriteFlushTable(w io.Writer, title string, results []*Result) error {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.CacheLabel,
+			fmt.Sprintf("%.3f", r.Wall.Seconds()),
+			fmt.Sprintf("%.3f", r.IOTime.Seconds()),
+			fmt.Sprintf("%.2f", r.P95Op.Seconds()*1000),
+			fmt.Sprintf("%d", r.Cache.ForcedFlushStalls),
+			fmt.Sprintf("%d", r.Cache.Flushes),
+			fmt.Sprintf("%d", r.Cache.DeadlineFlushes),
+			fmt.Sprintf("%d", r.Cache.MaxDirty),
+		})
+	}
+	return report.Table(w, title,
+		[]string{"config", "wall (s)", "io (s)", "p95 (ms)",
+			"stalls", "flushes", "deadline_flushes", "max_dirty"}, rows)
 }
 
 // WriteTable renders sweep results as an aligned table. label extracts

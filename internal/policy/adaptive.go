@@ -13,10 +13,19 @@ import (
 // gets near-best-static performance without the manual buffering
 // decisions that cost PRISM's version C so dearly.
 //
-// The classifier is deliberately simple and incremental: a window of
-// recent requests votes on (small vs large) and (sequential vs not),
-// and a two-thirds-majority rule with epoch boundaries prevents mode
-// flapping. The reader requires a seekable handle (M_UNIX or M_ASYNC).
+// The classifier is deliberately simple and incremental. Requests are
+// grouped into epochs of `window` observations (default 16). Each
+// request casts two votes: small (size <= adaptiveSmall, one quarter
+// stripe) and sequential (it starts exactly at the previous request's
+// end). At each epoch boundary the votes decide the mode:
+//
+//   - >= 2/3 small AND >= 2/3 sequential: switch to deep prefetch;
+//   - < 1/3 small OR < 1/3 sequential: switch to pass-through;
+//   - anything in between: keep the current mode (hysteresis, so a
+//     stream oscillating near a threshold does not flap).
+//
+// Votes reset every epoch; a mode switch drops any in-flight prefetch
+// window. The reader requires a seekable handle (M_UNIX or M_ASYNC).
 type AdaptiveReader struct {
 	h   *pfs.Handle
 	pos int64 // logical read position (the handle may be ahead: read-ahead)

@@ -3,6 +3,8 @@ package policy
 import (
 	"fmt"
 	"sort"
+
+	"paragonio/internal/cache"
 )
 
 // Kind identifies one recommendation category — each maps to a file
@@ -34,6 +36,38 @@ const (
 	UseWriteBehind
 	// AlignToStripe: dominant request size is not a stripe multiple.
 	AlignToStripe
+
+	// The remaining kinds are cache-tier recommendations (AdviseCache,
+	// AdviseTiers): instead of an access mode, each maps to a concrete
+	// cache.Tiers fragment, carried in Recommendation.Tiers.
+
+	// CacheWriteBehind: writes are small or rewrite the same blocks; an
+	// I/O-node cache with write-behind acknowledges them at copy cost.
+	CacheWriteBehind
+	// CacheReadAhead: a cold sequential read stream with no sharing,
+	// reuse, or staged writes behind it; read-ahead depth N overlaps the
+	// disk with the request stream.
+	CacheReadAhead
+	// AvoidReadAhead: read-ahead would pollute this file's cache — the
+	// read stream is already served by resident blocks (dirty staging
+	// data or a hot shared set), so speculative fills only evict them.
+	AvoidReadAhead
+	// CacheIONodeCapacity: cross-node re-reads of a hot block set; an
+	// I/O-node cache sized to the shared working set serves them at
+	// memory cost.
+	CacheIONodeCapacity
+	// CacheClientTier: per-node private temporal reuse; a client-side
+	// cache sized to the per-node working set serves it without any
+	// I/O-node round trip.
+	CacheClientTier
+	// CacheClientTTL: the client tier only pays off if leases outlive
+	// the observed reuse span (there is no local renewal); recommends a
+	// lease TTL covering it.
+	CacheClientTTL
+	// AvoidIONodeCache: this file's reads are per-node private — a
+	// shared I/O-node cache adds lookup cost with no sharing to exploit
+	// (the carbon-monoxide case where no server-side cache wins).
+	AvoidIONodeCache
 )
 
 var kindNames = map[Kind]string{
@@ -45,6 +79,14 @@ var kindNames = map[Kind]string{
 	EnablePrefetch:    "enable-prefetch",
 	UseWriteBehind:    "use-write-behind",
 	AlignToStripe:     "align-to-stripe",
+
+	CacheWriteBehind:    "cache-write-behind",
+	CacheReadAhead:      "cache-read-ahead",
+	AvoidReadAhead:      "avoid-read-ahead",
+	CacheIONodeCapacity: "cache-ionode-capacity",
+	CacheClientTier:     "cache-client-tier",
+	CacheClientTTL:      "cache-client-ttl",
+	AvoidIONodeCache:    "avoid-ionode-cache",
 }
 
 // String returns the recommendation's slug.
@@ -55,6 +97,10 @@ type Recommendation struct {
 	File   string
 	Kind   Kind
 	Reason string
+	// Tiers, non-nil on cache-tier kinds, is the concrete configuration
+	// fragment this finding argues for in isolation. AdviseTiers merges
+	// the fragments (and the negative findings) into one machine plan.
+	Tiers *cache.Tiers
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,293 @@
+package policy
+
+// Cache-tier advice: the second half of the advisor. Advise maps access
+// patterns to access modes (the paper's section 7 list); AdviseCache and
+// AdviseTiers map the block-granular reuse signals (SignalBlock) to a
+// concrete cache.Tiers configuration — write-behind, read-ahead depth,
+// I/O-node capacity, client tier and lease TTL — including the negative
+// calls: the PRISM restart stream where read-ahead pollutes a
+// dirty-block-resident hot set, and the carbon-monoxide shape where a
+// shared I/O-node cache loses outright and only a client tier wins.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"paragonio/internal/cache"
+)
+
+// CacheOptions tunes the cache advisor.
+type CacheOptions struct {
+	// IONodes is how many I/O nodes share the server tier; recommended
+	// capacity is per I/O node (default 16, the paper's machine).
+	IONodes int
+	// MinOps: ignore files with fewer data operations (default 8).
+	MinOps int
+	// IONodeFloor/IONodeCeil clamp the recommended per-I/O-node
+	// capacity (defaults 4 MB and 32 MB, the cachewhatif sweep range).
+	IONodeFloor, IONodeCeil int64
+	// ClientFloor/ClientCeil clamp the recommended per-client capacity
+	// (defaults 1 MB and 16 MB, the clientcache sweep range).
+	ClientFloor, ClientCeil int64
+	// ReadAheadDepth is the depth recommended when prefetch pays
+	// (default 4 blocks, the cachewhatif depth).
+	ReadAheadDepth int
+}
+
+func (o *CacheOptions) defaults() {
+	if o.IONodes == 0 {
+		o.IONodes = 16
+	}
+	if o.MinOps == 0 {
+		o.MinOps = 8
+	}
+	if o.IONodeFloor == 0 {
+		o.IONodeFloor = 4 << 20
+	}
+	if o.IONodeCeil == 0 {
+		o.IONodeCeil = 32 << 20
+	}
+	if o.ClientFloor == 0 {
+		o.ClientFloor = 1 << 20
+	}
+	if o.ClientCeil == 0 {
+		o.ClientCeil = 16 << 20
+	}
+	if o.ReadAheadDepth == 0 {
+		o.ReadAheadDepth = 4
+	}
+}
+
+// cacheSignals is the per-file trigger evaluation shared by AdviseCache
+// (which renders findings) and AdviseTiers (which merges them).
+type cacheSignals struct {
+	writeBehind bool // writes worth absorbing in an I/O-node cache
+	rewrites    bool // ... because the file rewrites its working set
+	capacity    bool // cross-node shared hot set worth holding server-side
+	readAhead   bool // cold private sequential stream worth prefetching
+	avoidRA     bool // read-ahead would pollute a resident set
+	rawHeavy    bool // ... because reads land on just-written blocks
+	client      bool // per-node private reuse worth a client tier
+	ttl         time.Duration
+}
+
+func evalCacheSignals(p *Profile, opt CacheOptions) cacheSignals {
+	var s cacheSignals
+	if p.Writes >= opt.MinOps {
+		s.rewrites = p.WriteWS > 0 && p.BytesWritten >= 2*p.WriteWS
+		s.writeBehind = p.SmallWriteFrac >= 0.8 || s.rewrites
+	}
+	if p.Reads >= opt.MinOps {
+		s.capacity = p.SharedReadFrac >= 0.5 && p.ReadOpsPerBlock >= 2
+		s.rawHeavy = p.ReadAfterWriteFrac >= 0.5
+		s.avoidRA = s.capacity || s.rawHeavy
+		s.client = p.ReuseReadFrac >= 0.25 && p.SharedReadFrac < 0.5 &&
+			p.PerNodeReadWS > 0
+		s.readAhead = !s.avoidRA && !s.client &&
+			p.SeqReadFrac >= 0.7 && p.SharedReadFrac < 0.5 &&
+			p.ReuseReadFrac < 0.25 && p.ReadOpsPerBlock <= 2
+		if s.client {
+			s.ttl = leaseTTLFor(p)
+		}
+	}
+	return s
+}
+
+// leaseTTLFor sizes a client lease for a profile's observed reuse: the
+// tier never renews a lease locally, so it must cover the whole span
+// from first touch to last return, with one more gap as margin, rounded
+// up to a whole minute.
+func leaseTTLFor(p *Profile) time.Duration {
+	need := p.MaxReuseSpan + p.MaxReuseGap
+	if need <= 0 {
+		return 0
+	}
+	return ((need + time.Minute - 1) / time.Minute) * time.Minute
+}
+
+// AdviseCache inspects one file's profile and returns its cache-tier
+// findings, each carrying the cache.Tiers fragment it argues for (nil
+// on the negative kinds). Use AdviseTiers to merge findings across a
+// whole trace into one configuration.
+func AdviseCache(p *Profile, opt CacheOptions) []Recommendation {
+	opt.defaults()
+	s := evalCacheSignals(p, opt)
+	var out []Recommendation
+	add := func(k Kind, t *cache.Tiers, reason string) {
+		out = append(out, Recommendation{File: p.File, Kind: k, Reason: reason, Tiers: t})
+	}
+	if s.writeBehind {
+		reason := fmt.Sprintf(
+			"%.0f%% of writes below 4 KB; write-behind acknowledges them at memory-copy cost",
+			100*p.SmallWriteFrac)
+		if !(p.SmallWriteFrac >= 0.8) {
+			reason = fmt.Sprintf(
+				"file rewrites its %s working set %.1f times over; write-behind absorbs the rewrites in cache",
+				cache.FormatSize(p.WriteWS), float64(p.BytesWritten)/float64(p.WriteWS))
+		}
+		add(CacheWriteBehind,
+			&cache.Tiers{IONode: &cache.Config{WriteBehind: true}}, reason)
+	}
+	if s.capacity {
+		capBytes := clampPow2(2*p.ReadWS/int64(opt.IONodes), opt.IONodeFloor, opt.IONodeCeil)
+		add(CacheIONodeCapacity,
+			&cache.Tiers{IONode: &cache.Config{CapacityBytes: capBytes}},
+			fmt.Sprintf(
+				"%.1f reads per distinct block, %.0f%% of touches on cross-node shared blocks; hold the %s hot set at the I/O nodes",
+				p.ReadOpsPerBlock, 100*p.SharedReadFrac, cache.FormatSize(p.ReadWS)))
+	}
+	if s.avoidRA {
+		reason := "the read stream is served from a resident shared hot set; speculative fills would only evict it"
+		if s.rawHeavy {
+			reason = fmt.Sprintf(
+				"%.0f%% of read touches land on blocks this run wrote; with write-behind they are already resident and read-ahead only evicts them",
+				100*p.ReadAfterWriteFrac)
+		}
+		add(AvoidReadAhead, nil, reason)
+	}
+	if s.readAhead {
+		add(CacheReadAhead,
+			&cache.Tiers{IONode: &cache.Config{ReadAhead: opt.ReadAheadDepth}},
+			fmt.Sprintf(
+				"%.0f%% sequential cold reads with no reuse behind them; read-ahead depth %d overlaps the disks with the stream",
+				100*p.SeqReadFrac, opt.ReadAheadDepth))
+	}
+	if s.client {
+		capBytes := clampPow2(2*p.PerNodeReadWS, opt.ClientFloor, opt.ClientCeil)
+		add(CacheClientTier,
+			&cache.Tiers{Client: &cache.ClientConfig{CapacityBytes: capBytes}},
+			fmt.Sprintf(
+				"%.0f%% of read touches return to node-private blocks (%s per node); a client tier serves them without any I/O-node trip",
+				100*p.ReuseReadFrac, cache.FormatSize(p.PerNodeReadWS)))
+		if s.ttl > cache.DefaultClientTTL {
+			add(CacheClientTTL,
+				&cache.Tiers{Client: &cache.ClientConfig{LeaseTTL: s.ttl}},
+				fmt.Sprintf(
+					"reuse spans %s per block and leases never renew locally; a %v lease keeps every return a hit",
+					p.MaxReuseSpan.Round(time.Second), s.ttl))
+		}
+		add(AvoidIONodeCache, nil, fmt.Sprintf(
+			"reads are node-private (%.0f%% shared); a server-side cache adds lookup cost with nothing to share",
+			100*p.SharedReadFrac))
+	}
+	return out
+}
+
+// TiersPlan is AdviseTiers' result: the per-file findings plus the one
+// merged cache.Tiers the advisor would actually configure.
+type TiersPlan struct {
+	// Recs are the per-file cache findings, sorted by file then kind.
+	Recs []Recommendation
+	// Tiers is the merged machine configuration. The zero value (both
+	// tiers nil) means "leave caching off" — itself a finding, and the
+	// honest call for the carbon-monoxide I/O-node case.
+	Tiers cache.Tiers
+	// Notes records the merge rationale the per-file findings cannot
+	// carry: which negative findings won and why, in input order.
+	Notes []string
+}
+
+// AdviseTiers evaluates every profile's cache findings and merges them
+// into one cache.Tiers for the whole machine. Files pull in different
+// directions, so the merge weighs each finding by the time the file
+// spent in the operations it would accelerate (or slow down): the
+// I/O-node tier is enabled only when the read/write time behind the
+// positive findings exceeds the read time of files that a shared cache
+// would penalize, and one AvoidReadAhead finding vetoes read-ahead for
+// the whole tier — prefetch pollution costs more than a cold stream
+// gains (the PRISM restart lesson).
+func AdviseTiers(profiles map[string]*Profile, opt CacheOptions) TiersPlan {
+	opt.defaults()
+	var plan TiersPlan
+
+	files := make([]string, 0, len(profiles))
+	for f := range profiles {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	var (
+		pro, anti    time.Duration // I/O-node tier: for and against
+		wbOn, capOn  bool
+		raOn, raVeto bool
+		clientOn     bool
+		ionodeWS     int64 // working set the I/O-node tier must hold
+		clientWS     int64 // summed per-node client working sets
+		clientTTL    time.Duration
+		antiFile     string // heaviest file arguing against the tier
+		antiFileCost time.Duration
+	)
+	for _, f := range files {
+		p := profiles[f]
+		s := evalCacheSignals(p, opt)
+		plan.Recs = append(plan.Recs, AdviseCache(p, opt)...)
+		if s.writeBehind {
+			wbOn = true
+			pro += p.WriteTime
+			ionodeWS += p.WriteWS
+		}
+		if s.capacity {
+			capOn = true
+			pro += p.ReadTime
+			ionodeWS += p.ReadWS
+		}
+		if s.readAhead {
+			raOn = true
+			pro += p.ReadTime
+		}
+		if s.avoidRA {
+			raVeto = true
+		}
+		if s.client {
+			clientOn = true
+			anti += p.ReadTime
+			if p.ReadTime > antiFileCost {
+				antiFileCost, antiFile = p.ReadTime, f
+			}
+			clientWS += p.PerNodeReadWS
+			if s.ttl > clientTTL {
+				clientTTL = s.ttl
+			}
+		}
+	}
+
+	if wbOn || capOn || raOn {
+		if pro > anti {
+			cfg := &cache.Config{
+				WriteBehind:   wbOn,
+				CapacityBytes: clampPow2(2*ionodeWS/int64(opt.IONodes), opt.IONodeFloor, opt.IONodeCeil),
+			}
+			if raOn && !raVeto {
+				cfg.ReadAhead = opt.ReadAheadDepth
+			}
+			plan.Tiers.IONode = cfg
+			if raVeto {
+				plan.Notes = append(plan.Notes,
+					"read-ahead held at 0: staged or shared blocks are already resident, and speculative fills would evict them (the PRISM restart case)")
+			}
+		} else {
+			plan.Notes = append(plan.Notes, fmt.Sprintf(
+				"I/O-node tier left off: %v of node-private reads (heaviest: %s) outweigh %v of cacheable traffic (the carbon-monoxide case)",
+				anti.Round(time.Second), antiFile, pro.Round(time.Second)))
+		}
+	}
+	if clientOn {
+		cc := &cache.ClientConfig{
+			CapacityBytes: clampPow2(2*clientWS, opt.ClientFloor, opt.ClientCeil),
+			LeaseTTL:      clientTTL,
+		}
+		plan.Tiers.Client = cc
+	}
+	return plan
+}
+
+// clampPow2 rounds n up to a power of two and clamps it to [lo, hi]
+// (lo and hi are assumed to be powers of two themselves).
+func clampPow2(n, lo, hi int64) int64 {
+	p := lo
+	for p < n && p < hi {
+		p <<= 1
+	}
+	return p
+}

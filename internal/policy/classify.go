@@ -5,15 +5,36 @@
 // and provides client-side aggregation/prefetch wrappers to quantify what
 // those policies buy.
 //
+// The package has three layers:
+//
+//   - Classify turns a trace into per-file Profiles (request sizes,
+//     sequentiality, sharing, block-granular reuse at SignalBlock
+//     granularity);
+//   - Advise and AdviseCache read one Profile and emit Recommendations —
+//     access-mode advice and cache-configuration advice respectively,
+//     the latter carrying concrete cache.Tiers fragments (see
+//     docs/ADVISOR.md for the full recommendation catalog);
+//   - AdviseTiers merges the per-file cache findings into the single
+//     cache.Tiers a run can actually be configured with, weighing
+//     pro-cache traffic against the traffic a server tier would hurt,
+//     and WriteAdvice renders everything for the CLI surfaces.
+//
+// The online counterpart is AdaptiveReader (and AdaptiveWriter), whose
+// window/voting classification rules are documented on the type: epochs
+// of `window` requests vote small-vs-large and sequential-vs-not, and a
+// two-thirds-majority rule with hysteresis picks the service mode.
+//
 // Run against the version A traces, the advisor reproduces the tuning
 // decisions the application developers made by hand over eighteen months
 // (broadcast-style global reads, M_ASYNC staging writes, M_RECORD
 // reloads), which is exactly the paper's argument for smarter file
-// systems.
+// systems; the experiments package's advisor family replays the cache
+// advice through the simulator and scores it against oracle-best sweeps.
 package policy
 
 import (
 	"sort"
+	"time"
 
 	"paragonio/internal/pablo"
 )
@@ -62,12 +83,80 @@ type Profile struct {
 	Modes      map[string]int
 	ReadModes  map[string]int
 	WriteModes map[string]int
+
+	// ReadTime and WriteTime are the summed durations of the file's data
+	// operations — the advisor's weights when files pull a shared cache
+	// configuration in different directions.
+	ReadTime, WriteTime time.Duration
+
+	// The remaining signals are block-granular (SignalBlock bytes) and
+	// feed the cache advisor: they measure reuse, not request shape.
+
+	// ReadWS and WriteWS are the distinct bytes read/written, rounded up
+	// to whole blocks (the footprint a cache would need to hold). WriteWS
+	// also bounds rewrite absorption: BytesWritten much larger than
+	// WriteWS means the same blocks are overwritten again and again.
+	ReadWS, WriteWS int64
+	// PerNodeReadWS is the largest single node's distinct bytes read —
+	// the footprint a per-client cache would need.
+	PerNodeReadWS int64
+	// ReadOpsPerBlock is read operations per distinct block read. Values
+	// far above 1 mean the read stream is served from a small resident
+	// set (the PRISM restart header: thousands of sub-block consults of
+	// one block), which any cache collapses to memory copies.
+	ReadOpsPerBlock float64
+	// SharedReadFrac is the fraction of read block-touches landing on
+	// blocks that at least two nodes read — reuse a shared (I/O-node)
+	// cache can serve but a per-client cache would only duplicate.
+	SharedReadFrac float64
+	// ReuseReadFrac is the fraction of read block-touches that RETURN to
+	// a block the same node touched before, excluding straight
+	// continuation (the previous operation touching the same block).
+	// This is per-client temporal reuse — the client-tier signal.
+	ReuseReadFrac float64
+	// MaxReuseGap is the longest virtual-time gap of such a return — a
+	// client lease must outlive it for the reuse to hit.
+	MaxReuseGap time.Duration
+	// MaxReuseSpan is the longest first-touch-to-last-return interval of
+	// such reuse on any (node, block). The client tier never renews a
+	// lease locally — only a directory round-trip re-installs it — so a
+	// lease taken at first touch must outlive the whole span, not just
+	// the longest single gap, for every return to hit.
+	MaxReuseSpan time.Duration
+	// ReadAfterWriteFrac is the fraction of read block-touches landing on
+	// blocks this trace wrote earlier — a staging pattern: with
+	// write-behind those blocks are already resident, so read-ahead
+	// would only pollute.
+	ReadAfterWriteFrac float64
 }
+
+// SignalBlock is the block granularity (bytes) of the Profile's reuse
+// signals — matched to the default PFS stripe unit, which is also the
+// cache tiers' default block size.
+const SignalBlock int64 = 64 * 1024
 
 // nodeKey identifies one node's stream against one file.
 type nodeKey struct {
 	file string
 	node int
+}
+
+// fileBlock is the per-(file, block) reuse bookkeeping for the cache
+// signals: who read it first, whether it became shared, whether it was
+// written before being read.
+type fileBlock struct {
+	readTouches int
+	firstReader int
+	shared      bool
+	written     bool
+	read        bool
+}
+
+// nodeTouch records one node's visits to one block.
+type nodeTouch struct {
+	lastIdx   int // index of the node's last data op touching this block
+	lastTime  time.Duration
+	firstTime time.Duration
 }
 
 // Classify builds a Profile for each file in the trace, keyed by name.
@@ -79,6 +168,22 @@ func Classify(t *pablo.Trace) map[string]*Profile {
 	readSeq := make(map[nodeKey][]pablo.Event)
 	writeOffsets := make(map[string]map[int][]int64)
 	readSizes := make(map[string]map[int64]int)
+
+	blocks := make(map[string]map[int64]*fileBlock) // per file
+	nodeBlocks := make(map[nodeKey]map[int64]*nodeTouch)
+	nodeOps := make(map[nodeKey]int) // data-op counter per (file, node)
+	readTouches := make(map[string]int)
+	reuseTouches := make(map[string]int)
+	rawTouches := make(map[string]int) // read-after-write block touches
+
+	fileBlocks := func(file string) map[int64]*fileBlock {
+		m := blocks[file]
+		if m == nil {
+			m = make(map[int64]*fileBlock)
+			blocks[file] = m
+		}
+		return m
+	}
 
 	get := func(file string) *Profile {
 		p := out[file]
@@ -134,6 +239,50 @@ func Classify(t *pablo.Trace) map[string]*Profile {
 				readSizes[ev.File] = map[int64]int{}
 			}
 			readSizes[ev.File][ev.Size]++
+			p.ReadTime += ev.Duration
+			// Block-granular reuse signals.
+			fb := fileBlocks(ev.File)
+			nb := nodeBlocks[k]
+			if nb == nil {
+				nb = make(map[int64]*nodeTouch)
+				nodeBlocks[k] = nb
+			}
+			idx := nodeOps[k]
+			nodeOps[k] = idx + 1
+			for b := ev.Offset / SignalBlock; b <= (ev.Offset+ev.Size-1)/SignalBlock; b++ {
+				info := fb[b]
+				if info == nil {
+					info = &fileBlock{firstReader: -1}
+					fb[b] = info
+				}
+				readTouches[ev.File]++
+				info.readTouches++
+				if !info.read {
+					info.read = true
+					info.firstReader = ev.Node
+				} else if info.firstReader != ev.Node {
+					info.shared = true
+				}
+				if info.written {
+					rawTouches[ev.File]++
+				}
+				if nt := nb[b]; nt != nil {
+					if nt.lastIdx < idx-1 {
+						// A return to a block this node left — per-client
+						// temporal reuse, not stream continuation.
+						reuseTouches[ev.File]++
+						if gap := ev.Start - nt.lastTime; gap > p.MaxReuseGap {
+							p.MaxReuseGap = gap
+						}
+						if span := ev.Start - nt.firstTime; span > p.MaxReuseSpan {
+							p.MaxReuseSpan = span
+						}
+					}
+					nt.lastIdx, nt.lastTime = idx, ev.Start
+				} else {
+					nb[b] = &nodeTouch{lastIdx: idx, lastTime: ev.Start, firstTime: ev.Start}
+				}
+			}
 		case pablo.OpWrite:
 			if ev.Size <= 0 {
 				continue
@@ -152,6 +301,18 @@ func Classify(t *pablo.Trace) map[string]*Profile {
 				writeOffsets[ev.File] = map[int][]int64{}
 			}
 			writeOffsets[ev.File][ev.Node] = append(writeOffsets[ev.File][ev.Node], ev.Offset)
+			p.WriteTime += ev.Duration
+			fb := fileBlocks(ev.File)
+			idx := nodeOps[k]
+			nodeOps[k] = idx + 1
+			for b := ev.Offset / SignalBlock; b <= (ev.Offset+ev.Size-1)/SignalBlock; b++ {
+				info := fb[b]
+				if info == nil {
+					info = &fileBlock{firstReader: -1}
+					fb[b] = info
+				}
+				info.written = true
+			}
 		}
 	}
 
@@ -183,6 +344,35 @@ func Classify(t *pablo.Trace) map[string]*Profile {
 		p.IdenticalReads = identicalReads(file, p.Readers, readSeq)
 		p.InterleavedWrites = interleavedWrites(writeOffsets[file])
 		p.FixedReadSize = dominantSize(readSizes[file], p.Reads)
+
+		// Reuse signals from the block bookkeeping.
+		var readBlocks, writeBlocks, sharedTouches int
+		for _, info := range blocks[file] {
+			if info.read {
+				readBlocks++
+				if info.shared {
+					sharedTouches += info.readTouches
+				}
+			}
+			if info.written {
+				writeBlocks++
+			}
+		}
+		p.ReadWS = int64(readBlocks) * SignalBlock
+		p.WriteWS = int64(writeBlocks) * SignalBlock
+		if readBlocks > 0 {
+			p.ReadOpsPerBlock = float64(p.Reads) / float64(readBlocks)
+		}
+		if rt := readTouches[file]; rt > 0 {
+			p.SharedReadFrac = float64(sharedTouches) / float64(rt)
+			p.ReuseReadFrac = float64(reuseTouches[file]) / float64(rt)
+			p.ReadAfterWriteFrac = float64(rawTouches[file]) / float64(rt)
+		}
+		for _, node := range p.Readers {
+			if ws := int64(len(nodeBlocks[nodeKey{file, node}])) * SignalBlock; ws > p.PerNodeReadWS {
+				p.PerNodeReadWS = ws
+			}
+		}
 	}
 	return out
 }

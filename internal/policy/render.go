@@ -1,0 +1,60 @@
+package policy
+
+import (
+	"fmt"
+	"io"
+
+	"paragonio/internal/report"
+)
+
+// WriteAdvice renders the advisor's full output for a classified trace:
+// the access-mode recommendations (Advise), the cache-tier findings
+// (AdviseCache), and the merged cache.Tiers plan with its merge notes
+// (AdviseTiers). Every CLI surface that prints advice (iotrace advise,
+// iosim -advise) goes through this one renderer, and docs/ADVISOR.md's
+// worked transcript is golden-file-tested against it.
+func WriteAdvice(w io.Writer, profiles map[string]*Profile, opt Options, copt CacheOptions) error {
+	recs := AdviseAll(profiles, opt)
+	if len(recs) == 0 {
+		if _, err := fmt.Fprintln(w, "no access-mode recommendations: observed patterns already fit the file system"); err != nil {
+			return err
+		}
+	} else {
+		rows := make([][]string, 0, len(recs))
+		for _, r := range recs {
+			rows = append(rows, []string{r.File, r.Kind.String(), r.Reason})
+		}
+		if err := report.Table(w, "File system policy advice",
+			[]string{"File", "Recommendation", "Why"}, rows); err != nil {
+			return err
+		}
+	}
+
+	plan := AdviseTiers(profiles, copt)
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if len(plan.Recs) == 0 {
+		if _, err := fmt.Fprintln(w, "no cache recommendations: no reuse a cache tier could serve"); err != nil {
+			return err
+		}
+	} else {
+		rows := make([][]string, 0, len(plan.Recs))
+		for _, r := range plan.Recs {
+			rows = append(rows, []string{r.File, r.Kind.String(), r.Reason})
+		}
+		if err := report.Table(w, "Cache configuration advice",
+			[]string{"File", "Recommendation", "Why"}, rows); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\nsuggested cache tiers: %v\n", plan.Tiers); err != nil {
+		return err
+	}
+	for _, n := range plan.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

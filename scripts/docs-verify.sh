@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# docs-verify: extract every ```sh code fence from README.md and
+# docs/ADVISOR.md and execute the commands in order, so the documented
+# quickstarts cannot rot. Commands run from the repository root in one
+# shell (later commands may read files earlier ones wrote, e.g. the
+# iosim -trace / iotrace advise pair); the first failure fails the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+{
+    echo 'set -euo pipefail'
+    for doc in README.md docs/ADVISOR.md; do
+        echo "echo \"### commands from $doc\""
+        awk '/^```sh$/ { f = 1; next } /^```$/ { f = 0 } f' "$doc"
+    done
+} >"$tmp"
+
+bash "$tmp"
+echo "docs-verify: all documented commands ran cleanly"
