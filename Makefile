@@ -1,7 +1,7 @@
 # paragonio — reproduction of Smirni et al., HPDC 1996.
 GO ?= go
 
-.PHONY: all build test test-short vet vet-race vet-race-clientcache fmt bench bench-smoke bench-json tables experiments docs-verify clean
+.PHONY: all build test test-short vet vet-race vet-race-clientcache vet-race-scaled fmt bench bench-smoke bench-json bench-diff tables experiments docs-verify clean
 
 all: build test
 
@@ -34,6 +34,13 @@ vet-race-clientcache:
 	$(GO) test -race ./internal/cache/ ./internal/pfs/
 	$(GO) test -race -run 'ClientCache|ClientVariants|CacheAlias' ./internal/experiments/
 
+# Race-check the window protocol on a scaled machine: a 32x32 mesh with
+# 64 I/O lanes — four times the paper topology — at auto/wide/narrow
+# shard settings must stay bit-identical under the race detector.
+vet-race-scaled:
+	$(GO) vet ./...
+	$(GO) test -race -run TestScaledMeshShardedDigest .
+
 fmt:
 	gofmt -l .
 
@@ -53,6 +60,15 @@ bench-json:
 	$(GO) test -run=NONE -bench=. -benchmem -benchtime=1x ./... | tee bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json < bench.out
 	@rm -f bench.out
+
+# Compare a fresh single-iteration benchmark pass against the newest
+# committed BENCH_<date>.json. Exits nonzero past the regression
+# threshold; -benchtime=1x samples are noisy, so CI runs this
+# non-blocking.
+bench-diff:
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=1x ./... | $(GO) run ./cmd/benchjson -o bench-new.json
+	$(GO) run ./cmd/benchjson -diff $$(ls BENCH_*.json | sort | tail -1) bench-new.json
+	@rm -f bench-new.json
 
 # Regenerate the paper's tables and figures to stdout (and artifacts/).
 tables:

@@ -8,11 +8,18 @@
 //	go test -run=NONE -bench=. -benchmem -benchtime=1x ./... > bench.out
 //	go run ./cmd/benchjson -o BENCH_2026-08-05.json < bench.out
 //	go run ./cmd/benchjson -only BenchmarkClientTierHit,BenchmarkKernel < bench.out
+//	go run ./cmd/benchjson -diff BENCH_2026-08-05.json BENCH_2026-08-08.json
+//	go run ./cmd/benchjson -diff -threshold 0.5 old.json new.json
 //
 // Besides ns/op, B/op and allocs/op it keeps every custom metric the
 // benchmarks report (the artifact benchmarks attach their headline
 // measured quantities), and records each package's wall-clock "ok"
 // time, whose sum is the suite wall clock.
+//
+// -diff compares two recorded reports benchmark-by-benchmark on ns/op
+// and exits nonzero when any benchmark regressed beyond -threshold —
+// the perf-trajectory gate CI runs (non-blocking there: -benchtime=1x
+// numbers are single-iteration samples and carry real noise).
 package main
 
 import (
@@ -204,11 +211,95 @@ func filterOnly(rep *Report, only string) error {
 	return nil
 }
 
+// loadReport reads one BENCH_<date>.json document.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// diffReports prints the old-vs-new ns/op delta for every benchmark the
+// two reports share (plus additions and removals) and returns the names
+// that regressed beyond threshold (a fraction: 0.2 = 20% slower).
+func diffReports(w io.Writer, oldRep, newRep *Report, threshold float64) []string {
+	key := func(b Benchmark) string { return b.Package + "." + b.Name }
+	oldBy := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[key(b)] = b
+	}
+	var regressed []string
+	matched := make(map[string]bool)
+	fmt.Fprintf(w, "%-58s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldBy[key(nb)]
+		if !ok {
+			fmt.Fprintf(w, "%-58s %14s %14.1f %9s\n", nb.Name, "-", nb.NsPerOp, "new")
+			continue
+		}
+		matched[key(nb)] = true
+		if ob.NsPerOp <= 0 {
+			fmt.Fprintf(w, "%-58s %14.1f %14.1f %9s\n", nb.Name, ob.NsPerOp, nb.NsPerOp, "n/a")
+			continue
+		}
+		delta := nb.NsPerOp/ob.NsPerOp - 1
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSED"
+			regressed = append(regressed, nb.Name)
+		}
+		fmt.Fprintf(w, "%-58s %14.1f %14.1f %+8.1f%%%s\n", nb.Name, ob.NsPerOp, nb.NsPerOp, delta*100, mark)
+	}
+	for _, ob := range oldRep.Benchmarks {
+		if !matched[key(ob)] {
+			fmt.Fprintf(w, "%-58s %14.1f %14s %9s\n", ob.Name, ob.NsPerOp, "-", "removed")
+		}
+	}
+	if oldRep.SuiteSeconds > 0 && newRep.SuiteSeconds > 0 {
+		fmt.Fprintf(w, "suite wall clock: %.1fs -> %.1fs (%+.1f%%)\n",
+			oldRep.SuiteSeconds, newRep.SuiteSeconds,
+			100*(newRep.SuiteSeconds/oldRep.SuiteSeconds-1))
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) regressed beyond +%.0f%%\n",
+			len(regressed), threshold*100)
+	}
+	return regressed
+}
+
 func main() {
 	outPath := flag.String("o", "", "output file (default stdout)")
 	date := flag.String("date", time.Now().Format("2006-01-02"), "run date stamped into the report")
 	only := flag.String("only", "", "comma-separated benchmark base names to keep (e.g. BenchmarkKernel,BenchmarkClientTierHit)")
+	diff := flag.Bool("diff", false, "compare two recorded reports: benchjson -diff old.json new.json")
+	threshold := flag.Float64("threshold", 0.2, "with -diff: exit nonzero when any benchmark's ns/op grew by more than this fraction")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff wants exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		oldRep, err := loadReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		newRep, err := loadReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if regressed := diffReports(os.Stdout, oldRep, newRep, *threshold); len(regressed) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {

@@ -116,3 +116,53 @@ func TestRunOnlyFilter(t *testing.T) {
 		t.Fatalf("typo error = %v", err)
 	}
 }
+
+// TestDiffReports pins the -diff semantics: shared benchmarks get a
+// delta row, additions/removals are labeled, and only regressions past
+// the threshold are returned.
+func TestDiffReports(t *testing.T) {
+	f := func(v float64) *float64 { return &v }
+	oldRep := &Report{
+		SuiteSeconds: 10,
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA-8", Package: "p", NsPerOp: 100, AllocsPerOp: f(1)},
+			{Name: "BenchmarkB-8", Package: "p", NsPerOp: 200},
+			{Name: "BenchmarkGone-8", Package: "p", NsPerOp: 50},
+		},
+	}
+	newRep := &Report{
+		SuiteSeconds: 11,
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA-8", Package: "p", NsPerOp: 105}, // +5%: fine
+			{Name: "BenchmarkB-8", Package: "p", NsPerOp: 300}, // +50%: regressed
+			{Name: "BenchmarkNew-8", Package: "p", NsPerOp: 70},
+		},
+	}
+	var out bytes.Buffer
+	regressed := diffReports(&out, oldRep, newRep, 0.2)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkB-8" {
+		t.Fatalf("regressed = %v, want [BenchmarkB-8]", regressed)
+	}
+	text := out.String()
+	for _, want := range []string{"REGRESSED", "new", "removed", "suite wall clock"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("diff output missing %q:\n%s", want, text)
+		}
+	}
+	// A looser threshold clears the exit condition.
+	if regressed := diffReports(&bytes.Buffer{}, oldRep, newRep, 0.6); len(regressed) != 0 {
+		t.Fatalf("threshold 0.6 still flags %v", regressed)
+	}
+}
+
+// TestDiffSameReportIsClean pins that a report diffed against itself
+// reports no regressions at any threshold.
+func TestDiffSameReportIsClean(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed := diffReports(&bytes.Buffer{}, rep, rep, 0); len(regressed) != 0 {
+		t.Fatalf("self-diff flags %v", regressed)
+	}
+}

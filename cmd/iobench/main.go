@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"paragonio/internal/cliflags"
+	"paragonio/internal/core"
 	"paragonio/internal/iobench"
 	"paragonio/internal/pfs"
 )
@@ -34,13 +35,19 @@ func main() {
 		volume  = flag.Int64("volume", 32<<20, "total bytes per kernel")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		shards  = flag.String("shards", "1",
-			"kernel shards per simulation: 1 = single-threaded, N >= 2 = conservative lanes, auto = GOMAXPROCS (results are identical for any value)")
+			"kernel shards per simulation: 1 = single-threaded, N >= 2 = I/O + compute lanes, auto = GOMAXPROCS (results are identical for any value)")
 	)
 	flag.Parse()
 	ns, err := cliflags.ParseShards(*shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "iobench:", err)
 		os.Exit(1)
+	}
+	// The benchmark machine keeps the paper's 16 I/O nodes (the -sweep
+	// ionodes dimension varies it per run, but the notice is about the
+	// base topology).
+	if notice := core.ShardNotice(ns, 16, *nodes); notice != "" {
+		fmt.Fprintln(os.Stderr, "iobench:", notice)
 	}
 	if err := run(*kernel, *sweep, *mode, *nodes, *request, *volume, *seed, ns); err != nil {
 		fmt.Fprintln(os.Stderr, "iobench:", err)

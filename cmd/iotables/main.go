@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 
 	"paragonio/internal/cliflags"
+	"paragonio/internal/core"
 	"paragonio/internal/experiments"
 )
 
@@ -27,10 +28,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload random seed")
 		summary = flag.Bool("summary", false, "print only the per-experiment metric comparisons")
 		outDir  = flag.String("out", "", "also write each artifact to <dir>/<id>.txt")
-		jobs    = flag.Int("j", cliflags.DefaultJobs(),
-			"experiments regenerated in parallel (sims are deterministic; output is identical for any -j)")
+		jobs    = flag.String("j", "auto",
+			"experiments regenerated in parallel: a count or auto = GOMAXPROCS (sims are deterministic; output is identical for any -j)")
 		shards = flag.String("shards", "1",
-			"kernel shards per simulation: 1 = single-threaded, N >= 2 = conservative lanes, auto = GOMAXPROCS (output is identical for any value)")
+			"kernel shards per simulation: 1 = single-threaded, N >= 2 = I/O + compute lanes, auto = GOMAXPROCS (output is identical for any value)")
 	)
 	flag.Parse()
 	n, err := cliflags.ParseShards(*shards)
@@ -38,7 +39,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "iotables:", err)
 		os.Exit(1)
 	}
-	if err := run(*only, *seed, *summary, *outDir, *jobs, n); err != nil {
+	j, err := cliflags.ParseJobs(*jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iotables:", err)
+		os.Exit(1)
+	}
+	// The suite runs the paper machine (16 I/O nodes); its smallest
+	// workload is 64-node PRISM, so shard requests beyond 80 lanes clamp
+	// on at least one run.
+	if notice := core.ShardNotice(n, 16, 64); notice != "" {
+		fmt.Fprintln(os.Stderr, "iotables:", notice)
+	}
+	if err := run(*only, *seed, *summary, *outDir, j, n); err != nil {
 		fmt.Fprintln(os.Stderr, "iotables:", err)
 		os.Exit(1)
 	}

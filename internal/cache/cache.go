@@ -438,7 +438,7 @@ func (c *Cache) writeBlock(streamName string, idx, n int64) time.Duration {
 	b.prefetched = false
 	if !b.dirty {
 		b.dirty = true
-		b.dirtyAt = c.k.Now()
+		b.dirtyAt = c.sched.Now()
 		c.dirtyCount++
 		if c.dirtyCount > c.stats.MaxDirty {
 			c.stats.MaxDirty = c.dirtyCount
@@ -572,7 +572,7 @@ func (c *Cache) scheduleFlush() {
 		})
 		return
 	}
-	now := c.k.Now()
+	now := c.sched.Now()
 	delay := c.cfg.IdleFlush
 	if b := c.oldestDirty(); b != nil {
 		delay = b.dirtyAt + c.cfg.FlushDeadline - now
@@ -617,7 +617,7 @@ func (c *Cache) scheduleFlush() {
 // still drains a full batch regardless of age.
 func (c *Cache) flushHold() sim.Time {
 	expiredOnly := c.cfg.FlushDeadline > 0 && c.dirtyCount < c.cfg.DirtyHighWater
-	now := c.k.Now()
+	now := c.sched.Now()
 	var d time.Duration
 	wrote := 0
 	for wrote < c.cfg.FlushBatch && c.dirtyCount > 0 {

@@ -71,3 +71,17 @@ func TestDefaultJobs(t *testing.T) {
 		t.Error("DefaultJobs is not GOMAXPROCS")
 	}
 }
+
+func TestParseJobs(t *testing.T) {
+	if n, err := ParseJobs("auto"); err != nil || n < 1 {
+		t.Fatalf("ParseJobs(auto) = %d, %v", n, err)
+	}
+	if n, err := ParseJobs("4"); err != nil || n != 4 {
+		t.Fatalf("ParseJobs(4) = %d, %v", n, err)
+	}
+	for _, bad := range []string{"", "0", "-2", "four"} {
+		if _, err := ParseJobs(bad); err == nil {
+			t.Errorf("ParseJobs(%q) accepted", bad)
+		}
+	}
+}

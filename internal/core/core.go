@@ -49,11 +49,50 @@ type Config struct {
 	// Deprecated: use Tiers.IONode.
 	Cache *cache.Config
 	// Shards, when >= 2, shards the simulation kernel into that many
-	// conservative lanes (capped at the I/O node count) so same-instant
-	// I/O-node service events execute on parallel OS threads. The merge
-	// is deterministic: traces are bit-identical for every shard count.
-	// 0 or 1 (the default) runs today's single-threaded kernel.
+	// conservative lanes: up to one I/O lane per I/O node executing sync
+	// windows on parallel OS threads, with any surplus becoming compute
+	// lanes that partition process wakeups off the shared event heap (see
+	// LaneSplit). The merge is deterministic: traces are bit-identical
+	// for every shard count and window width. 0 or 1 (the default) runs
+	// today's single-threaded kernel.
 	Shards int
+	// Window overrides the sync-window width of a sharded kernel (see
+	// sim.Kernel.SetWindow). 0, the default, uses the full lookahead;
+	// widths above the lookahead are clamped to it. Results never depend
+	// on it — it is a performance knob and a test surface.
+	Window time.Duration
+}
+
+// LaneSplit resolves a requested shard count against a topology: I/O
+// lanes are capped at one per I/O node, the surplus becomes compute
+// lanes capped at one per compute node. A request larger than
+// ioNodes+nodes clamps; callers that want to surface the clamp print
+// ShardNotice.
+func LaneSplit(shards, ioNodes, nodes int) (io, compute int) {
+	if shards < 2 {
+		return 0, 0
+	}
+	io = shards
+	if io > ioNodes {
+		io = ioNodes
+	}
+	compute = shards - io
+	if compute > nodes {
+		compute = nodes
+	}
+	return io, compute
+}
+
+// ShardNotice returns a one-line notice when the requested shard count
+// exceeds the lanes the topology can use ("" when it fits). CLIs print
+// it so a clamp is never silent.
+func ShardNotice(requested, ioNodes, nodes int) string {
+	io, compute := LaneSplit(requested, ioNodes, nodes)
+	if requested < 2 || io+compute >= requested {
+		return ""
+	}
+	return fmt.Sprintf("notice: -shards %d clamped to %d (%d I/O lanes for %d I/O nodes + %d compute lanes for %d nodes)",
+		requested, io+compute, io, ioNodes, compute, nodes)
 }
 
 // Platform is an assembled simulated machine with tracing attached.
@@ -92,14 +131,12 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	}
 	fcfg.Tiers = cfg.Tiers
 	fcfg.Cache = cfg.Cache // deprecated alias; pfs.New resolves and rejects conflicts
-	if shards := cfg.Shards; shards >= 2 {
-		if shards > fcfg.IONodes {
-			shards = fcfg.IONodes
-		}
-		if la := m.MinLatency(); la > 0 && shards >= 2 {
-			if err := k.ConfigureShards(shards, la); err != nil {
+	if io, compute := LaneSplit(cfg.Shards, fcfg.IONodes, cfg.Nodes); io+compute >= 2 {
+		if la := m.MinLatency(); la > 0 {
+			if err := k.ConfigureLanes(io, compute, la); err != nil {
 				return nil, err
 			}
+			k.SetWindow(cfg.Window)
 		}
 	}
 	fs, err := pfs.New(k, fcfg, tr)

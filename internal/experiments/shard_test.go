@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"testing"
+	"time"
 
 	"paragonio/internal/sim"
 )
@@ -27,19 +28,33 @@ func TestShardedGoldenDigests(t *testing.T) {
 	// acceptance matrix (1 is TestGoldenDigests itself). These runs carry
 	// no cache tiers, so they also pin that the client-tier code paths
 	// added to pfs cost nothing — not one event — when disabled.
-	for _, shards := range []int{2, 4, 8, 16} {
+	//
+	// Shards above the I/O node count (20) split into 16 I/O lanes plus
+	// compute lanes partitioning the node processes, and the narrowed
+	// windows force windows that slice the mesh lookahead unevenly — both
+	// must stay bit-identical too.
+	cases := []struct {
+		shards int
+		window time.Duration // 0 = full lookahead
+	}{
+		{2, 0}, {4, 0}, {8, 0}, {16, 0},
+		{8, 7 * time.Microsecond},
+		{20, 0},
+	}
+	for _, tc := range cases {
 		s := NewSuite(1)
-		s.Shards = shards
+		s.Shards = tc.shards
+		s.Window = tc.window
 		for _, g := range goldenDigests {
 			res, err := g.run(s)
 			if err != nil {
-				t.Fatalf("shards=%d %s: %v", shards, g.key, err)
+				t.Fatalf("shards=%d window=%v %s: %v", tc.shards, tc.window, g.key, err)
 			}
 			if n := res.Trace.Len(); n != g.events {
-				t.Errorf("shards=%d %s: %d events, golden %d", shards, g.key, n, g.events)
+				t.Errorf("shards=%d window=%v %s: %d events, golden %d", tc.shards, tc.window, g.key, n, g.events)
 			}
 			if d := res.Trace.Digest(); d != g.digest {
-				t.Errorf("shards=%d %s: digest %#016x, golden %#016x", shards, g.key, d, g.digest)
+				t.Errorf("shards=%d window=%v %s: digest %#016x, golden %#016x", tc.shards, tc.window, g.key, d, g.digest)
 			}
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"paragonio/internal/apps/escat"
 	"paragonio/internal/apps/prism"
@@ -32,6 +33,9 @@ type Suite struct {
 	// Results are bit-identical to the single-threaded kernel for every
 	// value — the golden-digest tests enforce it.
 	Shards int
+	// Window overrides the sync-window width of sharded runs (see
+	// core.Config.Window). 0 uses the full lookahead.
+	Window time.Duration
 
 	mu   sync.Mutex
 	runs map[string]*runSlot
@@ -51,7 +55,7 @@ func NewSuite(seed int64) *Suite {
 
 // cfg returns the platform configuration all suite runs share.
 func (s *Suite) cfg() core.Config {
-	return core.Config{Seed: s.Seed, Shards: s.Shards}
+	return core.Config{Seed: s.Seed, Shards: s.Shards, Window: s.Window}
 }
 
 // run returns the cached result for key, executing f on first use.

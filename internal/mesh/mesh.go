@@ -51,9 +51,9 @@ func New(cfg Config) (*Mesh, error) {
 	if cfg.Bandwidth <= 0 {
 		return nil, fmt.Errorf("mesh: bandwidth must be positive, got %g", cfg.Bandwidth)
 	}
-	if cfg.IONodes < 0 || cfg.IONodes > cfg.Rows {
-		return nil, fmt.Errorf("mesh: %d I/O nodes do not fit along a column of %d rows",
-			cfg.IONodes, cfg.Rows)
+	if cfg.IONodes < 0 || cfg.IONodes > cfg.Rows*cfg.Cols {
+		return nil, fmt.Errorf("mesh: %d I/O nodes do not fit in a %dx%d mesh",
+			cfg.IONodes, cfg.Rows, cfg.Cols)
 	}
 	if cfg.SWOverhead < 0 || cfg.PerHop < 0 {
 		return nil, fmt.Errorf("mesh: negative latency parameter")
@@ -82,9 +82,12 @@ func (m *Mesh) Coord(node int) (row, col int) {
 }
 
 // IONodeCoord returns the mesh coordinates of I/O node io (0-based). I/O
-// nodes occupy the last column, one per row from the top.
+// nodes fill the last column, one per row from the top; configurations
+// with more I/O nodes than rows (scaled-up machines) continue into the
+// next-to-last column, and so on — the Intel mesh's dedicated-I/O-column
+// layout extended to multiple columns.
 func (m *Mesh) IONodeCoord(io int) (row, col int) {
-	return io % m.cfg.Rows, m.cfg.Cols - 1
+	return io % m.cfg.Rows, m.cfg.Cols - 1 - io/m.cfg.Rows
 }
 
 // Hops returns the dimension-ordered routing distance between two

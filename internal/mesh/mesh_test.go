@@ -24,7 +24,7 @@ func TestNewValidation(t *testing.T) {
 		{"zero cols", func(c *Config) { c.Cols = 0 }},
 		{"zero bandwidth", func(c *Config) { c.Bandwidth = 0 }},
 		{"negative bandwidth", func(c *Config) { c.Bandwidth = -1 }},
-		{"too many io nodes", func(c *Config) { c.IONodes = c.Rows + 1 }},
+		{"too many io nodes", func(c *Config) { c.IONodes = c.Rows*c.Cols + 1 }},
 		{"negative io nodes", func(c *Config) { c.IONodes = -1 }},
 		{"negative overhead", func(c *Config) { c.SWOverhead = -time.Second }},
 		{"negative perhop", func(c *Config) { c.PerHop = -time.Second }},
@@ -73,6 +73,34 @@ func TestIONodeCoords(t *testing.T) {
 		if r != io {
 			t.Fatalf("I/O node %d at row %d, want %d", io, r, io)
 		}
+	}
+}
+
+// TestIONodeCoordsMultiColumn pins the scaled-machine layout: more I/O
+// nodes than rows wrap into the next-to-last column, with no two I/O
+// nodes sharing a position.
+func TestIONodeCoordsMultiColumn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols, cfg.IONodes = 128, 128, 256
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int]bool{}
+	for io := 0; io < 256; io++ {
+		r, c := m.IONodeCoord(io)
+		if r < 0 || r >= 128 || c < 0 || c >= 128 {
+			t.Fatalf("I/O node %d at (%d,%d), outside the mesh", io, r, c)
+		}
+		wantCol := 127 - io/128
+		if c != wantCol {
+			t.Fatalf("I/O node %d at col %d, want %d", io, c, wantCol)
+		}
+		pos := [2]int{r, c}
+		if seen[pos] {
+			t.Fatalf("I/O nodes collide at (%d,%d)", r, c)
+		}
+		seen[pos] = true
 	}
 }
 

@@ -95,3 +95,16 @@ func TestDigestTracerMatchesTrace(t *testing.T) {
 		}
 	}
 }
+
+// TestDigestTracerZeroAlloc pins that the streaming digest's Record path
+// is allocation-free — it can sit on the kernel's tracing hot path for
+// arbitrarily large runs without GC pressure.
+func TestDigestTracerZeroAlloc(t *testing.T) {
+	d := NewDigestTracer()
+	ev := Event{Node: 2, Op: OpRead, File: "escat/input.0", Offset: 4096,
+		Size: 622, Start: time.Millisecond, Duration: 450 * time.Microsecond,
+		Mode: "M_UNIX"}
+	if allocs := testing.AllocsPerRun(100, func() { d.Record(ev) }); allocs != 0 {
+		t.Fatalf("DigestTracer.Record allocates %.1f times per event, want 0", allocs)
+	}
+}

@@ -65,15 +65,49 @@ func EventFromRecord(rec sddf.Record) (Event, error) {
 	}, nil
 }
 
-// WriteSDDF emits the whole trace as io-event records on w.
+// AppendEvent encodes one event as an io-event record through the
+// writer's builder path — no boxing, no per-record allocation. desc must
+// be (a copy of) EventDescriptor.
+func AppendEvent(w *sddf.Writer, desc *sddf.Descriptor, ev *Event) error {
+	err := w.Begin(desc)
+	if err == nil {
+		err = w.Int(int64(ev.Node))
+	}
+	if err == nil {
+		err = w.Str(ev.Op.String())
+	}
+	if err == nil {
+		err = w.Str(ev.File)
+	}
+	if err == nil {
+		err = w.Int(ev.Offset)
+	}
+	if err == nil {
+		err = w.Int(ev.Size)
+	}
+	if err == nil {
+		err = w.Int(int64(ev.Start))
+	}
+	if err == nil {
+		err = w.Int(int64(ev.Duration))
+	}
+	if err == nil {
+		err = w.Str(ev.Mode)
+	}
+	if err != nil {
+		return err
+	}
+	return w.End()
+}
+
+// WriteSDDF emits the whole trace as io-event records on w via the
+// allocation-free builder path; the only steady-state allocations left
+// are the buffered writer's flushes.
 func WriteSDDF(w *sddf.Writer, t *Trace) error {
 	desc := EventDescriptor()
-	for _, ev := range t.Events() {
-		rec, err := EventRecord(desc, ev)
-		if err != nil {
-			return err
-		}
-		if err := w.Write(rec); err != nil {
+	events := t.Events()
+	for i := range events {
+		if err := AppendEvent(w, desc, &events[i]); err != nil {
 			return err
 		}
 	}

@@ -2,6 +2,7 @@ package pablo
 
 import (
 	"bytes"
+	"io"
 	"testing"
 	"time"
 
@@ -85,5 +86,55 @@ func TestEventFromRecordRejectsWrongType(t *testing.T) {
 	}
 	if _, err := EventFromRecord(rec); err == nil {
 		t.Fatal("wrong record type accepted")
+	}
+}
+
+// TestAppendEventZeroAlloc pins the trace-export hot path: encoding one
+// event through the builder bridge performs zero heap allocations (the
+// buffered writer's flushes are the only steady-state cost left).
+func TestAppendEventZeroAlloc(t *testing.T) {
+	w := sddf.NewWriter(io.Discard)
+	desc := EventDescriptor()
+	ev := Event{Node: 5, Op: OpWrite, File: "prism/ckpt.3", Offset: 1 << 20,
+		Size: 64 << 10, Start: time.Second, Duration: 3 * time.Millisecond,
+		Mode: "M_ASYNC"}
+	if err := AppendEvent(w, desc, &ev); err != nil { // warm up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := AppendEvent(w, desc, &ev); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendEvent allocates %.1f times per event, want 0", allocs)
+	}
+}
+
+// TestAppendEventMatchesEventRecord pins that the builder bridge and the
+// boxed bridge emit byte-identical streams.
+func TestAppendEventMatchesEventRecord(t *testing.T) {
+	tr := sampleTrace()
+	var boxed, built bytes.Buffer
+	bw := sddf.NewWriter(&boxed)
+	desc := EventDescriptor()
+	for _, ev := range tr.Events() {
+		rec, err := EventRecord(desc, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSDDF(sddf.NewWriter(&built), tr); err != nil {
+		t.Fatal(err)
+	}
+	if boxed.String() != built.String() {
+		t.Fatalf("builder stream differs from boxed stream:\n%s\nvs\n%s",
+			built.String(), boxed.String())
 	}
 }

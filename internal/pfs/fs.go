@@ -153,7 +153,7 @@ func New(k *sim.Kernel, cfg Config, tracer pablo.Tracer) (*FileSystem, error) {
 		tracer: tracer,
 	}
 	for i := 0; i < cfg.IONodes; i++ {
-		sh := k.Lane(i)
+		sh := k.IOLane(i)
 		n := &ioNode{
 			idx:   i,
 			sh:    sh,
@@ -425,6 +425,15 @@ func (fs *FileSystem) serveIONode(p *sim.Proc, node int, f *file, io int, chunks
 // side through Shard.Deferred (a Shard.Call at commit time on a sharded
 // kernel, the bare callback otherwise) so it never runs concurrently
 // with other lanes.
+//
+// The staging hop runs on the issuing node's compute LP, not the I/O
+// lane: a zero-delay event on an I/O lane would land inside the open
+// sync window (the window protocol only guarantees cross-LP delays of
+// at least the lookahead), while compute-lane events dispatch on the
+// sequential plane at any instant. The mesh transfer that follows is
+// >= the lookahead by construction, so it crosses the LP boundary
+// legally. The hop's (at, seq) allocation is unchanged by the routing,
+// which keeps traces bit-identical to the previous I/O-lane hop.
 func (fs *FileSystem) serveIONodeFn(node int, f *file, io int, chunks []chunk, write bool, then func()) {
 	var bytes int64
 	for _, c := range chunks {
@@ -432,7 +441,7 @@ func (fs *FileSystem) serveIONodeFn(node int, f *file, io int, chunks []chunk, w
 	}
 	n := fs.ios[io]
 	then = n.sh.Deferred(then)
-	n.sh.After(0, func() {
+	fs.k.ComputeLane(node).After(0, func() {
 		n.sh.After(fs.cfg.Mesh.TransferToIONode(node, io, bytes), func() {
 			n.res.UseFn(func() sim.Time {
 				var d time.Duration

@@ -181,10 +181,19 @@ const magic = "#SDDF-G v1"
 
 // Writer emits a self-describing stream. Descriptors are written on
 // first use.
+//
+// Two record paths exist: Write takes a boxed Record (convenient, one
+// []any per record), and the Begin/Int/Double/Str/End builder encodes
+// straight into a reusable buffer with no per-record allocation — the
+// path trace exporters use (see pablo.WriteSDDF).
 type Writer struct {
 	bw      *bufio.Writer
 	defined map[int]*Descriptor
 	started bool
+
+	buf   []byte      // reusable line scratch for the builder path
+	cur   *Descriptor // descriptor of the open builder record, nil when none
+	field int         // next field index of the open record
 }
 
 // NewWriter wraps w.
@@ -218,53 +227,149 @@ func (w *Writer) Define(d *Descriptor) error {
 		return nil
 	}
 	w.defined[d.Tag] = d
-	var b strings.Builder
-	fmt.Fprintf(&b, "D %d %s", d.Tag, d.Name)
+	b := append(w.buf[:0], 'D', ' ')
+	b = strconv.AppendInt(b, int64(d.Tag), 10)
+	b = append(b, ' ')
+	b = append(b, d.Name...)
 	for _, f := range d.Fields {
-		fmt.Fprintf(&b, " %s:%s", f.Name, f.Type)
+		b = append(b, ' ')
+		b = append(b, f.Name...)
+		b = append(b, ':')
+		b = append(b, f.Type.String()...)
 	}
-	_, err := fmt.Fprintln(w.bw, b.String())
+	b = append(b, '\n')
+	w.buf = b[:0]
+	_, err := w.bw.Write(b)
 	return err
 }
 
-// Write emits one record, defining its descriptor if needed.
+// Begin opens one record of type d on the builder path. Values follow
+// via Int/Double/Str in descriptor-field order and End commits the line;
+// the whole sequence reuses one scratch buffer, so steady-state encoding
+// allocates nothing.
+func (w *Writer) Begin(d *Descriptor) error {
+	if w.cur != nil {
+		return fmt.Errorf("sddf: Begin with record %q still open", w.cur.Name)
+	}
+	if d == nil {
+		return fmt.Errorf("sddf: record without descriptor")
+	}
+	if err := w.Define(d); err != nil {
+		return err
+	}
+	w.cur, w.field = d, 0
+	w.buf = append(w.buf[:0], 'R', ' ')
+	w.buf = strconv.AppendInt(w.buf, int64(d.Tag), 10)
+	return nil
+}
+
+// next checks that the open record's next field has type t and accounts
+// for it, appending the separator. Errors abandon the open record.
+func (w *Writer) next(t FieldType) error {
+	if w.cur == nil {
+		return fmt.Errorf("sddf: value outside a record")
+	}
+	if w.field >= len(w.cur.Fields) {
+		err := fmt.Errorf("sddf: too many values for %q", w.cur.Name)
+		w.cur = nil
+		return err
+	}
+	if f := w.cur.Fields[w.field]; f.Type != t {
+		err := fmt.Errorf("sddf: field %q wants %s, got %s", f.Name, f.Type, t)
+		w.cur = nil
+		return err
+	}
+	w.field++
+	w.buf = append(w.buf, ' ')
+	return nil
+}
+
+// Int appends the open record's next field, which must be an Int.
+func (w *Writer) Int(v int64) error {
+	if err := w.next(Int); err != nil {
+		return err
+	}
+	w.buf = strconv.AppendInt(w.buf, v, 10)
+	return nil
+}
+
+// Double appends the open record's next field, which must be a Double.
+func (w *Writer) Double(v float64) error {
+	if err := w.next(Double); err != nil {
+		return err
+	}
+	w.buf = strconv.AppendFloat(w.buf, v, 'g', -1, 64)
+	return nil
+}
+
+// Str appends the open record's next field, which must be a String.
+func (w *Writer) Str(v string) error {
+	if err := w.next(String); err != nil {
+		return err
+	}
+	w.buf = strconv.AppendQuote(w.buf, v)
+	return nil
+}
+
+// End commits the open record's line.
+func (w *Writer) End() error {
+	if w.cur == nil {
+		return fmt.Errorf("sddf: End without Begin")
+	}
+	d := w.cur
+	w.cur = nil
+	if w.field != len(d.Fields) {
+		return fmt.Errorf("sddf: record %q short: %d of %d values",
+			d.Name, w.field, len(d.Fields))
+	}
+	w.buf = append(w.buf, '\n')
+	_, err := w.bw.Write(w.buf)
+	return err
+}
+
+// Write emits one boxed record, defining its descriptor if needed.
 func (w *Writer) Write(r Record) error {
 	if r.Desc == nil {
 		return fmt.Errorf("sddf: record without descriptor")
-	}
-	if err := w.Define(r.Desc); err != nil {
-		return err
 	}
 	if len(r.Values) != len(r.Desc.Fields) {
 		return fmt.Errorf("sddf: record arity %d != descriptor %q arity %d",
 			len(r.Values), r.Desc.Name, len(r.Desc.Fields))
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "R %d", r.Desc.Tag)
+	if err := w.Begin(r.Desc); err != nil {
+		return err
+	}
 	for i, v := range r.Values {
-		switch r.Desc.Fields[i].Type {
+		f := r.Desc.Fields[i]
+		var err error
+		switch f.Type {
 		case Int:
 			iv, ok := v.(int64)
 			if !ok {
-				return fmt.Errorf("sddf: field %q wants int64, got %T", r.Desc.Fields[i].Name, v)
+				w.cur = nil
+				return fmt.Errorf("sddf: field %q wants int64, got %T", f.Name, v)
 			}
-			fmt.Fprintf(&b, " %d", iv)
+			err = w.Int(iv)
 		case Double:
 			dv, ok := v.(float64)
 			if !ok {
-				return fmt.Errorf("sddf: field %q wants float64, got %T", r.Desc.Fields[i].Name, v)
+				w.cur = nil
+				return fmt.Errorf("sddf: field %q wants float64, got %T", f.Name, v)
 			}
-			fmt.Fprintf(&b, " %s", strconv.FormatFloat(dv, 'g', -1, 64))
+			err = w.Double(dv)
 		case String:
 			sv, ok := v.(string)
 			if !ok {
-				return fmt.Errorf("sddf: field %q wants string, got %T", r.Desc.Fields[i].Name, v)
+				w.cur = nil
+				return fmt.Errorf("sddf: field %q wants string, got %T", f.Name, v)
 			}
-			fmt.Fprintf(&b, " %s", strconv.Quote(sv))
+			err = w.Str(sv)
+		}
+		if err != nil {
+			return err
 		}
 	}
-	_, err := fmt.Fprintln(w.bw, b.String())
-	return err
+	return w.End()
 }
 
 // Flush drains buffered output.

@@ -209,3 +209,141 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBuilderRoundTrip drives the allocation-free Begin/…/End path and
+// checks the emitted stream parses back identically to the boxed path.
+func TestBuilderRoundTrip(t *testing.T) {
+	d := ioEventDesc()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := w.Begin(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Int(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Str("escat/restart.0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Int(int64(i) * 4096); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Int(4096); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Double(float64(i) / 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i := 0; i < 3; i++ {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, _ := rec.Int("node"); n != int64(i) {
+			t.Fatalf("record %d: node = %d", i, n)
+		}
+		if f, _ := rec.Str("file"); f != "escat/restart.0" {
+			t.Fatalf("record %d: file = %q", i, f)
+		}
+		if dv, _ := rec.Double("dur"); dv != float64(i)/2 {
+			t.Fatalf("record %d: dur = %g", i, dv)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+// TestBuilderMisuse pins the builder's error contract: type mismatches,
+// arity violations and out-of-record values fail cleanly, and a failed
+// record is abandoned so the writer stays usable.
+func TestBuilderMisuse(t *testing.T) {
+	d := ioEventDesc()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+
+	if err := w.Int(1); err == nil {
+		t.Fatal("value outside a record accepted")
+	}
+	if err := w.End(); err == nil {
+		t.Fatal("End without Begin accepted")
+	}
+	if err := w.Begin(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Str("wrong"); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	// The mismatch abandoned the record: a fresh Begin must work …
+	if err := w.Begin(d); err != nil {
+		t.Fatalf("writer unusable after abandoned record: %v", err)
+	}
+	if err := w.Int(1); err != nil {
+		t.Fatal(err)
+	}
+	// … and a short record is rejected at End.
+	if err := w.End(); err == nil {
+		t.Fatal("short record accepted")
+	}
+	// A complete record still goes through afterwards.
+	if err := w.Begin(d); err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []error{
+		w.Int(7), w.Str("f"), w.Int(0), w.Int(512), w.Double(1.5),
+	} {
+		if step != nil {
+			t.Fatal(step)
+		}
+	}
+	if err := w.Int(9); err == nil {
+		t.Fatal("excess value accepted")
+	}
+	// The excess value abandoned the record too.
+	if err := w.End(); err == nil {
+		t.Fatal("End after abandoned record accepted")
+	}
+}
+
+// TestBuilderZeroAlloc pins the builder's whole point: steady-state
+// record encoding performs zero heap allocations per record.
+func TestBuilderZeroAlloc(t *testing.T) {
+	d := ioEventDesc()
+	w := NewWriter(io.Discard)
+	emit := func() {
+		if err := w.Begin(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Int(3); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Str("escat/input.0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Int(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Int(65536); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Double(0.25); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	emit() // warm up: define the descriptor, size the scratch buffer
+	if allocs := testing.AllocsPerRun(100, emit); allocs != 0 {
+		t.Fatalf("builder encode allocates %.1f times per record, want 0", allocs)
+	}
+}

@@ -76,20 +76,21 @@ type Kernel struct {
 	// Sharded-mode state (see shard.go). All fields stay zero on an
 	// unsharded kernel except lane0, the handle every Lane() call
 	// resolves to.
-	lane0     *Shard
-	lanes     []*Shard    // shard lane handles; index i is lane i+1
-	laneQ     []eventHeap // per-shard-lane queues, parallel to lanes
-	lookahead Time
-	inStage   bool // a parallel stage is executing; unrouted schedules panic
-	stageMin  int
-	observer  func(at Time, seq uint64, lane int)
+	lane0        *Shard
+	lanes        []*Shard    // shard lane handles; index i is lane i+1
+	laneQ        []eventHeap // per-shard-lane queues, parallel to lanes
+	ioLanes      int         // lanes[0:ioLanes] are I/O LPs, the rest compute LPs
+	lookahead    Time
+	window       Time // sync-window width, (0, lookahead]
+	fencePeriods []Time
+	inStage      bool // phase A is executing; unrouted schedules panic
+	replayEnd    Time // nonzero while a window replays; guards in-window cross-LP schedules
+	stageMin     int
+	observer     func(at Time, seq uint64, lane int)
 
-	// Scratch reused across sharded instants.
-	merged       []laneEvent
-	bufs         []stageBuf
-	groups       [][]int
-	activeLanes  []int32
-	panicScratch []stagePanic
+	// Scratch reused across windows and sequential instants.
+	merged []laneEvent
+	wins   []laneWin
 }
 
 // NewKernel returns a kernel with the clock at zero and no pending events.
@@ -111,16 +112,24 @@ func (k *Kernel) EventsProcessed() uint64 { return k.processed }
 // LiveProcs returns the number of spawned processes that have not finished.
 func (k *Kernel) LiveProcs() int { return k.live }
 
-// schedule enqueues an event at the given absolute time on lane 0.
+// schedule enqueues an event at the given absolute time on lane 0 — or,
+// for the wakeup of a process that lives on a compute lane, on that
+// lane's queue. The queue only decides where the event waits; dispatch
+// order is the global (at, seq) merge either way.
 func (k *Kernel) schedule(at Time, p *Proc, fn func()) {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, k.now))
 	}
 	if k.inStage {
-		panic("sim: unrouted schedule from inside a parallel stage (use the lane's Shard handle)")
+		panic("sim: unrouted schedule from inside a window worker (use the lane's Shard handle)")
 	}
 	k.seq++
-	k.queue.push(event{at: at, seq: k.seq, proc: p, fn: fn})
+	ev := event{at: at, seq: k.seq, proc: p, fn: fn}
+	if p != nil && p.lane != 0 {
+		k.laneQ[p.lane-1].push(ev)
+		return
+	}
+	k.queue.push(ev)
 }
 
 // After schedules fn to run at Now()+d. It may be called from process
@@ -136,23 +145,20 @@ func (k *Kernel) After(d Time, fn func()) {
 // the current virtual time. It may be called before Run or from within a
 // running process or callback.
 func (k *Kernel) Spawn(name string, body func(*Proc)) *Proc {
-	k.procSeq++
-	p := &Proc{
-		k:      k,
-		name:   name,
-		id:     k.procSeq,
-		resume: make(chan struct{}),
+	return k.spawn(0, name, 0, body)
+}
+
+// SpawnOn is Spawn with a home lane: the process's wake events queue on
+// sh's lane instead of the shared lane-0 heap. Only compute lanes
+// partition processes — an I/O-lane or lane-0 handle leaves the process
+// on lane 0. The home lane changes which queue wakeups wait in, never
+// their (at, seq) dispatch order, so it is trace-invisible.
+func (k *Kernel) SpawnOn(sh *Shard, name string, body func(*Proc)) *Proc {
+	var lane int32
+	if sh != nil && sh.k == k && !k.isIOLane(sh.lane) {
+		lane = sh.lane
 	}
-	k.live++
-	k.schedule(k.now, p, nil)
-	go func() {
-		<-p.resume // wait for first dispatch
-		body(p)
-		p.done = true
-		k.live--
-		k.parked <- struct{}{} // final yield back to the kernel
-	}()
-	return p
+	return k.spawn(0, name, lane, body)
 }
 
 // SpawnAt is like Spawn but delays the process start by d.
@@ -160,21 +166,26 @@ func (k *Kernel) SpawnAt(d Time, name string, body func(*Proc)) *Proc {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
+	return k.spawn(d, name, 0, body)
+}
+
+func (k *Kernel) spawn(d Time, name string, lane int32, body func(*Proc)) *Proc {
 	k.procSeq++
 	p := &Proc{
 		k:      k,
 		name:   name,
 		id:     k.procSeq,
+		lane:   lane,
 		resume: make(chan struct{}),
 	}
 	k.live++
 	k.schedule(k.now+d, p, nil)
 	go func() {
-		<-p.resume
+		<-p.resume // wait for first dispatch
 		body(p)
 		p.done = true
 		k.live--
-		k.parked <- struct{}{}
+		k.parked <- struct{}{} // final yield back to the kernel
 	}()
 	return p
 }
@@ -211,13 +222,7 @@ func (k *Kernel) Run() error {
 			k.runBatch(k.queue.min().at)
 		}
 	} else {
-		for {
-			at, ok := k.minNext()
-			if !ok {
-				break
-			}
-			k.runBatchSharded(at)
-		}
+		k.runSharded(0, false)
 	}
 	k.trim()
 	if k.live > 0 {
@@ -239,13 +244,7 @@ func (k *Kernel) RunUntil(deadline Time) error {
 		}
 		return nil
 	}
-	for {
-		at, ok := k.minNext()
-		if !ok || at > deadline {
-			break
-		}
-		k.runBatchSharded(at)
-	}
+	k.runSharded(deadline, true)
 	if _, ok := k.minNext(); !ok && k.live > 0 {
 		return k.deadlockError()
 	}
@@ -297,8 +296,23 @@ func (k *Kernel) trim() {
 	if cap(k.merged) > maxRetainedEvents {
 		k.merged = nil
 	}
-	if cap(k.bufs) > maxRetainedEvents {
-		k.bufs = nil
+	for i := range k.wins {
+		w := &k.wins[i]
+		if cap(w.slice) > maxRetainedEvents {
+			w.slice = nil
+		}
+		if cap(w.recs) > maxRetainedEvents {
+			w.recs = nil
+		}
+		if cap(w.entries) > maxRetainedEvents {
+			w.entries = nil
+		}
+		if cap(w.heap.ev) > maxRetainedEvents {
+			w.heap.ev = nil
+		}
+		if cap(w.ordSeq) > maxRetainedEvents {
+			w.ordSeq = nil
+		}
 	}
 }
 

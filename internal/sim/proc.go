@@ -9,6 +9,7 @@ type Proc struct {
 	k      *Kernel
 	name   string
 	id     int
+	lane   int32 // home compute lane for wake events; 0 = lane 0
 	resume chan struct{}
 	done   bool
 }

@@ -82,7 +82,7 @@ func (r *Resource) QueueLen() int { return r.waiters.len() }
 // Acquire blocks p until a slot is free, FIFO with respect to other
 // acquirers.
 func (r *Resource) Acquire(p *Proc) {
-	r.enqueueAt[p] = r.k.now
+	r.enqueueAt[p] = r.sh.Now()
 	if r.busy < r.capacity && r.waiters.len() == 0 {
 		r.grant(p)
 		return
@@ -96,7 +96,7 @@ func (r *Resource) Acquire(p *Proc) {
 // returns whether it did. It never blocks.
 func (r *Resource) TryAcquire(p *Proc) bool {
 	if r.busy < r.capacity && r.waiters.len() == 0 {
-		r.enqueueAt[p] = r.k.now
+		r.enqueueAt[p] = r.sh.Now()
 		r.grant(p)
 		return true
 	}
@@ -115,9 +115,9 @@ func (r *Resource) enqueue(w resWaiter) {
 func (r *Resource) grant(p *Proc) {
 	r.busy++
 	r.acquisitions++
-	r.totalQueue += r.k.now - r.enqueueAt[p]
+	r.totalQueue += r.sh.Now() - r.enqueueAt[p]
 	delete(r.enqueueAt, p)
-	r.holdSince[p] = r.k.now
+	r.holdSince[p] = r.sh.Now()
 }
 
 // grantFn records the grant of a slot to a callback-shaped holder that
@@ -125,7 +125,7 @@ func (r *Resource) grant(p *Proc) {
 func (r *Resource) grantFn(enq Time) {
 	r.busy++
 	r.acquisitions++
-	r.totalQueue += r.k.now - enq
+	r.totalQueue += r.sh.Now() - enq
 }
 
 // UseFn acquires a slot as a callback-shaped holder — FIFO with every
@@ -139,23 +139,23 @@ func (r *Resource) grantFn(enq Time) {
 // goroutine round-trips.
 func (r *Resource) UseFn(hold func() Time, then func()) {
 	if r.busy < r.capacity && r.waiters.len() == 0 {
-		r.grantFn(r.k.now)
+		r.grantFn(r.sh.Now())
 		r.holdFn(hold, then)
 		return
 	}
-	r.enqueue(resWaiter{hold: hold, then: then, enq: r.k.now})
+	r.enqueue(resWaiter{hold: hold, then: then, enq: r.sh.Now()})
 }
 
 // holdFn runs at grant time for a callback-shaped holder: it prices the
 // hold and schedules the release and continuation.
 func (r *Resource) holdFn(hold func() Time, then func()) {
-	since := r.k.now
+	since := r.sh.Now()
 	d := hold()
 	if d < 0 {
 		panic("sim: negative hold on " + r.name)
 	}
-	r.sh.schedule(r.k.now+d, nil, func() {
-		r.totalHold += r.k.now - since
+	r.sh.schedule(r.sh.Now()+d, nil, func() {
+		r.totalHold += r.sh.Now() - since
 		r.busy--
 		r.wakeNext()
 		if then != nil {
@@ -171,7 +171,7 @@ func (r *Resource) Release(p *Proc) {
 	if !ok {
 		panic(fmt.Sprintf("sim: %s releasing %s it does not hold", p, r.name))
 	}
-	r.totalHold += r.k.now - since
+	r.totalHold += r.sh.Now() - since
 	delete(r.holdSince, p)
 	r.busy--
 	r.wakeNext()
@@ -192,7 +192,7 @@ func (r *Resource) wakeNext() {
 		return
 	}
 	r.grantFn(next.enq)
-	r.sh.schedule(r.k.now, nil, func() { r.holdFn(next.hold, next.then) })
+	r.sh.schedule(r.sh.Now(), nil, func() { r.holdFn(next.hold, next.then) })
 }
 
 // Use acquires the resource, holds it for d of virtual time, and releases

@@ -6,132 +6,258 @@ import (
 	"sync"
 )
 
-// Conservative intra-run sharding.
+// Conservative intra-run sharding with multi-instant sync windows.
 //
-// A sharded kernel partitions its event queue into lanes: lane 0 is the
-// compute-side logical process (all process resumptions and client-side
-// callbacks), lanes 1..n belong to shard LPs whose callback events touch
-// only state confined to that lane (an I/O node's FIFO server, disk array,
-// and cache). Cross-lane interactions must traverse the mesh, whose
-// minimum message latency — the lookahead passed to ConfigureShards — is
-// strictly positive; therefore every event queued for one instant was
-// scheduled at an earlier instant, and shard-lane events of a single
-// instant are causally closed: none can affect another lane at the same
-// instant. That is the classic conservative (Chandy-Misra style) safe
-// window, specialized to "one instant at a time".
+// A sharded kernel partitions its event queue into lanes. Lane 0 is the
+// dispatcher plane (client-side callbacks, mailboxes, barriers). Lanes
+// 1..io are I/O logical processes (LPs) whose callback events touch only
+// state confined to that lane — an I/O node's FIFO server, disk array,
+// and cache. Lanes io+1..io+c are compute LPs: they partition process
+// wakeups and compute-side staging events off the shared lane-0 heap, but
+// their events always dispatch on the dispatcher goroutine (process
+// bodies share the PFS client plane and the trace, so they can never run
+// concurrently — see docs/DESIGN.md, "The compute/I-O LP boundary").
 //
-// Within an instant the kernel merges the per-lane queues in global
-// (at, seq) order and walks the merged batch: lane-0 events dispatch
-// sequentially exactly as in the unsharded kernel, while maximal runs of
-// shard-lane events form a stage that executes in parallel — one worker
-// per lane, events of one lane in seq order. While a stage runs, every
-// side effect a handler produces (schedule, After, proc wakeup, deferred
-// Call) is appended to a per-event buffer instead of reaching the kernel;
-// after the stage joins, the buffers are committed in the events'
-// dispatch order. Sequence numbers are therefore allocated in exactly the
-// order the single-threaded kernel would allocate them, which makes the
-// sharded run's event sequence — and hence its traces — bit-identical to
-// the unsharded run by construction, for every lane count.
+// Cross-LP interactions must traverse the mesh, whose minimum message
+// latency — the lookahead passed to ConfigureShards — is strictly
+// positive. Therefore a window of virtual time [W, W+L), with L bounded
+// by the lookahead, is causally closed per I/O lane: no event one lane
+// executes inside the window can affect another lane before the window
+// ends. That is the classic conservative (Chandy-Misra style) safe
+// window; earlier revisions specialized it to "one instant at a time",
+// this kernel advances each I/O LP through the whole window between
+// barriers.
 //
-// Handlers running inside a stage must confine themselves to their lane's
-// state; effects on other lanes go through Shard.Call, which runs the
-// closure at commit time on the dispatcher goroutine. Unrouted access to
-// the kernel (Kernel.After, Spawn, mailbox sends) from a stage worker
-// panics via the inStage guard.
+// A window executes in two phases. Phase A: one worker per active I/O
+// lane drains the lane's events with at < windowEnd in (at, seq) order
+// under a lane-local virtual clock (Shard.Now), appending every side
+// effect — schedules, process wakeups, deferred calls — to a per-lane
+// effect log instead of touching the kernel. Events a handler schedules
+// onto its own lane inside the window are executed in the same walk (a
+// lane-local heap orders them); everything else is logged. Phase B: the
+// dispatcher replays the per-lane execution records interleaved with the
+// live lane-0 and compute-lane queues in exact global (at, seq) order,
+// allocating sequence numbers for logged schedules at precisely the
+// positions the single-threaded kernel would have allocated them, and
+// dispatching processes, wakes, and deferred calls inline. The replayed
+// run's event sequence — and hence its traces — is therefore
+// bit-identical to the unsharded run by construction, for every lane
+// count and window width.
+//
+// Subsystems that read state across lanes at an instant (the PFS
+// sampler) register that instant's period with Kernel.FenceEvery; fence
+// instants dispatch sequentially on the dispatcher, outside any window,
+// so cross-lane reads observe exactly the state a sequential kernel
+// would show.
 
-// stageEntry is one deferred effect captured while a shard lane executes
-// inside a parallel stage: a schedule (at, lane, proc/fn) or a deferred
-// cross-lane call.
+// Entry kinds of the phase-A effect log.
+const (
+	entrySchedule = iota // allocate a seq and enqueue on entry.lane
+	entryLocal           // bind a seq to a window-local event (consumed in phase A)
+	entryCall            // dispatch a wake / run a deferred call inline
+)
+
+// stageEntry is one logged side effect of an event executed in phase A.
 type stageEntry struct {
 	at   Time
 	lane int32
+	ord  int32
+	kind uint8
 	proc *Proc
 	fn   func()
-	call bool
 }
 
-// stageBuf collects the deferred effects of one event dispatched in a
-// parallel stage.
-type stageBuf struct {
+// localEv is an event created and consumed inside the same window on the
+// same lane. It has no sequence number yet — phase B assigns one when it
+// replays the creator's log — so phase A orders it by creation order,
+// which provably matches the eventual seq order.
+type localEv struct {
+	at  Time
+	ord int32
+	fn  func()
+}
+
+// localHeap is a min-heap of window-local events ordered by (at, ord).
+type localHeap struct {
+	ev []localEv
+}
+
+func localLess(a, b *localEv) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.ord < b.ord
+}
+
+func (h *localHeap) len() int      { return len(h.ev) }
+func (h *localHeap) min() *localEv { return &h.ev[0] }
+func (h *localHeap) push(e localEv) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) >> 1
+		if !localLess(&e, &h.ev[parent]) {
+			break
+		}
+		h.ev[i] = h.ev[parent]
+		i = parent
+	}
+	h.ev[i] = e
+}
+
+func (h *localHeap) pop() localEv {
+	ev := h.ev
+	top := ev[0]
+	n := len(ev) - 1
+	last := ev[n]
+	ev[n] = localEv{}
+	h.ev = ev[:n]
+	i := 0
+	for {
+		c := i<<1 + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && localLess(&ev[c+1], &ev[c]) {
+			c++
+		}
+		if !localLess(&ev[c], &last) {
+			break
+		}
+		ev[i] = ev[c]
+		i = c
+	}
+	if n > 0 {
+		ev[i] = last
+	}
+	return top
+}
+
+// laneRec is one event executed by a phase-A worker, in execution order.
+// Pre-existing events carry their seq; window-created events carry their
+// creation ord instead and resolve the seq their creator's replayed log
+// entry bound (laneWin.ordSeq).
+type laneRec struct {
+	at       Time
+	seq      uint64
+	ord      int32
+	entEnd   int32 // end offset of this record's slice of laneWin.entries
+	panicked bool
+	pval     any
+}
+
+// laneWin is the phase-A execution state and phase-B replay cursor of one
+// I/O lane for one window. Reused across windows.
+type laneWin struct {
+	end     Time
+	slice   []event // the lane's pre-existing in-window events, (at, seq) order
+	heap    localHeap
+	ord     int32
+	recs    []laneRec
 	entries []stageEntry
+	ordSeq  []uint64
+	ri      int   // phase-B record cursor
+	ei      int32 // phase-B entries cursor
 }
 
-// stagePanic records a panic raised by a stage worker, tagged with the
-// batch index of the event that raised it so re-panics are deterministic.
-type stagePanic struct {
-	idx int
-	val any
+func (w *laneWin) reset(end Time) {
+	w.end = end
+	w.slice = w.slice[:0]
+	w.recs = w.recs[:0]
+	w.entries = w.entries[:0]
+	w.ord = 0
+	w.ri, w.ei = 0, 0
+}
+
+// clear drops proc/fn references once a window is fully replayed.
+func (w *laneWin) clear() {
+	for i := range w.slice {
+		w.slice[i] = event{}
+	}
+	for i := range w.recs {
+		w.recs[i].pval = nil
+	}
+	// entries are zeroed as they replay.
+	w.slice = w.slice[:0]
+	w.recs = w.recs[:0]
+	w.entries = w.entries[:0]
 }
 
 // Shard is the scheduling handle of one lane. Lane-confined subsystems
 // (the PFS I/O-node path, the cache flusher) route their timers and
 // continuations through their Shard so the kernel can tag the resulting
-// events with the lane and, during a parallel stage, defer them into the
-// running event's buffer. On an unsharded kernel every handle is the
+// events with the lane and, during phase A of a window, defer them into
+// the lane's effect log. On an unsharded kernel every handle is the
 // lane-0 handle and all methods degenerate to the direct kernel calls.
 type Shard struct {
 	k    *Kernel
 	lane int32
 
-	// bufs/cur route effects into per-event buffers while this lane runs
-	// inside a parallel stage; bufs is nil in direct mode. Only the
-	// lane's stage worker touches these.
-	bufs []stageBuf
-	cur  int
+	// win/now are the phase-A state: win routes effects into the lane's
+	// log while its worker runs (nil in direct mode), now is the
+	// lane-local virtual clock. Only the lane's worker touches these.
+	win *laneWin
+	now Time
 }
 
 // Kernel returns the kernel this shard belongs to.
 func (sh *Shard) Kernel() *Kernel { return sh.k }
 
-// Lane returns the lane index (0 = compute lane).
+// Lane returns the lane index (0 = dispatcher lane).
 func (sh *Shard) Lane() int { return int(sh.lane) }
 
-// Now returns the current virtual time.
-func (sh *Shard) Now() Time { return sh.k.now }
+// Now returns the lane's current virtual time: the lane-local clock
+// while the lane executes inside a sync window, the kernel clock
+// otherwise. Lane-confined subsystems must price time through their
+// Shard (or a Resource bound to it), never through Kernel.Now.
+func (sh *Shard) Now() Time {
+	if sh.win != nil {
+		return sh.now
+	}
+	return sh.k.now
+}
 
 // After schedules fn on this lane at Now()+d.
 func (sh *Shard) After(d Time, fn func()) {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
-	sh.schedule(sh.k.now+d, nil, fn)
+	sh.schedule(sh.Now()+d, nil, fn)
 }
 
 // Resume schedules parked process p to continue at the current instant.
 // It is the routed equivalent of the wakeup a synchronization primitive
-// issues, safe to call from a stage handler.
+// issues, safe to call from a lane handler.
 func (sh *Shard) Resume(p *Proc) {
-	sh.schedule(sh.k.now, p, nil)
+	sh.schedule(sh.Now(), p, nil)
 }
 
 // Wake resumes a process parked with Proc.Suspend inline, within the
 // current event's dispatch position: immediately in direct mode, or at
-// commit time when called from a stage worker. Unlike Resume it adds no
+// replay time when called from a window worker. Unlike Resume it adds no
 // event — the process continuation nests inside the waking event exactly
 // as if the process itself had been executing it, which is what keeps a
 // callback-shaped completion bit-identical to the process-shaped code it
 // replaces. Both modes are allocation-free.
 func (sh *Shard) Wake(p *Proc) {
-	if sh.bufs == nil {
-		sh.k.dispatch(p)
+	if w := sh.win; w != nil {
+		w.entries = append(w.entries, stageEntry{kind: entryCall, proc: p})
 		return
 	}
-	b := &sh.bufs[sh.cur]
-	b.entries = append(b.entries, stageEntry{proc: p, call: true})
+	sh.k.dispatch(p)
 }
 
 // Call runs fn on the dispatcher goroutine: immediately when the lane is
-// in direct mode, or at commit time — in this event's dispatch position —
-// when the lane is executing inside a parallel stage. Cross-lane
-// continuations (mailbox sends, bookkeeping on shared state) must go
-// through Call so they never run concurrently with other lanes.
+// in direct mode, or at replay time — in this event's dispatch position —
+// when the lane is executing inside a window. Cross-lane continuations
+// (mailbox sends, bookkeeping on shared state) must go through Call so
+// they never run concurrently with other lanes.
 func (sh *Shard) Call(fn func()) {
-	if sh.bufs == nil {
-		fn()
+	if w := sh.win; w != nil {
+		w.entries = append(w.entries, stageEntry{kind: entryCall, fn: fn})
 		return
 	}
-	b := &sh.bufs[sh.cur]
-	b.entries = append(b.entries, stageEntry{fn: fn, call: true})
+	fn()
 }
 
 // Deferred returns a callback equivalent to func() { sh.Call(fn) }. On an
@@ -145,54 +271,84 @@ func (sh *Shard) Deferred(fn func()) func() {
 	return func() { sh.Call(fn) }
 }
 
-// schedule enqueues an event on this lane (lane 0 for process wakeups —
-// processes always dispatch on the compute lane), deferring into the
-// stage buffer when a stage is running. The compute-lane handle takes
-// the kernel's direct path unconditionally: stages execute shard lanes
-// only, so lane 0 never defers — this keeps the unsharded kernel's
-// schedule cost identical to the pre-sharding kernel.
+// schedule enqueues an event on this lane (the owning process's lane for
+// process wakeups — processes dispatch on the sequential plane), logging
+// it when the lane is executing inside a window. The lane-0 handle takes
+// the kernel's direct path unconditionally, which keeps the unsharded
+// kernel's schedule cost identical to the pre-sharding kernel.
 func (sh *Shard) schedule(at Time, p *Proc, fn func()) {
 	if sh.lane == 0 {
 		sh.k.schedule(at, p, fn)
 		return
 	}
-	lane := sh.lane
-	if p != nil {
-		lane = 0
-	}
-	if sh.bufs == nil {
+	w := sh.win
+	if w == nil {
+		lane := sh.lane
+		if p != nil {
+			lane = p.lane
+		}
 		sh.k.scheduleLane(lane, at, p, fn)
 		return
 	}
-	if at < sh.k.now {
-		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, sh.k.now))
+	// Phase A: log the effect. sh.now is the lane-local clock.
+	if at < sh.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, sh.now))
 	}
-	b := &sh.bufs[sh.cur]
-	b.entries = append(b.entries, stageEntry{at: at, lane: lane, proc: p, fn: fn})
+	if p != nil {
+		w.entries = append(w.entries, stageEntry{kind: entrySchedule, at: at, lane: p.lane, proc: p})
+		return
+	}
+	if at < w.end {
+		// Window-local: executed later in this same phase-A walk; phase B
+		// binds its seq when it replays this log entry.
+		ord := w.ord
+		w.ord++
+		w.heap.push(localEv{at: at, ord: ord, fn: fn})
+		w.entries = append(w.entries, stageEntry{kind: entryLocal, at: at, ord: ord})
+		return
+	}
+	w.entries = append(w.entries, stageEntry{kind: entrySchedule, at: at, lane: sh.lane, fn: fn})
 }
 
-// defaultStageMin is the smallest multi-lane run worth fanning out to
-// worker goroutines; below it the synchronization overhead exceeds the
-// win and the run dispatches inline.
+// defaultStageMin is the smallest pending I/O-lane backlog worth fanning
+// a window out to worker goroutines; below it the synchronization
+// overhead exceeds the win and the window dispatches inline.
 const defaultStageMin = 8
 
-// DefaultStageMin is the stage-length threshold newly sharded kernels
-// adopt (see SetStageMin). Determinism and race tests lower it to force
-// the parallel path onto workloads whose instants would otherwise
-// dispatch inline; results must not depend on it.
+// DefaultStageMin is the fan-out threshold newly sharded kernels adopt
+// (see SetStageMin). Determinism and race tests lower it to force the
+// parallel path onto workloads whose windows would otherwise dispatch
+// inline; results must not depend on it.
 var DefaultStageMin = defaultStageMin
 
-// ConfigureShards partitions the kernel into lanes shard lanes (plus the
-// implicit compute lane 0) synchronized conservatively with the given
+// ConfigureShards partitions the kernel into lanes I/O lanes (plus the
+// implicit dispatcher lane 0) synchronized conservatively with the given
 // lookahead — the minimum virtual latency of any cross-lane interaction,
 // typically mesh.MinLatency(). It must be called on a fresh kernel,
 // before any event is scheduled. lanes < 2 leaves the kernel unsharded;
 // lookahead must be positive for any actual sharding, since a zero
-// lookahead would allow same-instant cross-lane causality and break the
+// lookahead would allow same-window cross-lane causality and break the
 // safe-window argument.
 func (k *Kernel) ConfigureShards(lanes int, lookahead Time) error {
-	if lanes < 2 {
+	return k.ConfigureLanes(lanes, 0, lookahead)
+}
+
+// ConfigureLanes is ConfigureShards with an explicit lane partition:
+// ioLanes I/O LPs that execute windows in parallel, plus computeLanes
+// compute LPs that partition process wakeups and compute-side staging
+// events off the shared lane-0 heap (their events always dispatch
+// sequentially; see the package comment). ioLanes+computeLanes < 2
+// leaves the kernel unsharded.
+func (k *Kernel) ConfigureLanes(ioLanes, computeLanes int, lookahead Time) error {
+	if ioLanes < 0 || computeLanes < 0 {
+		return fmt.Errorf("sim: negative lane count")
+	}
+	total := ioLanes + computeLanes
+	if total < 2 {
 		return nil
+	}
+	if ioLanes < 1 {
+		return fmt.Errorf("sim: sharding requires at least one I/O lane")
 	}
 	if lookahead <= 0 {
 		return fmt.Errorf("sim: sharding requires positive lookahead, got %v", lookahead)
@@ -204,8 +360,10 @@ func (k *Kernel) ConfigureShards(lanes int, lookahead Time) error {
 		return fmt.Errorf("sim: shards already configured")
 	}
 	k.lookahead = lookahead
-	k.lanes = make([]*Shard, lanes)
-	k.laneQ = make([]eventHeap, lanes)
+	k.window = lookahead
+	k.ioLanes = ioLanes
+	k.lanes = make([]*Shard, total)
+	k.laneQ = make([]eventHeap, total)
 	for i := range k.lanes {
 		k.lanes[i] = &Shard{k: k, lane: int32(i + 1)}
 	}
@@ -213,14 +371,52 @@ func (k *Kernel) ConfigureShards(lanes int, lookahead Time) error {
 	return nil
 }
 
-// ShardCount returns the number of shard lanes (0 when unsharded).
+// ShardCount returns the total number of shard lanes (0 when unsharded).
 func (k *Kernel) ShardCount() int { return len(k.lanes) }
+
+// IOLaneCount returns the number of I/O lanes (0 when unsharded).
+func (k *Kernel) IOLaneCount() int {
+	if len(k.lanes) == 0 {
+		return 0
+	}
+	return k.ioLanes
+}
+
+// ComputeLaneCount returns the number of compute lanes.
+func (k *Kernel) ComputeLaneCount() int {
+	if len(k.lanes) == 0 {
+		return 0
+	}
+	return len(k.lanes) - k.ioLanes
+}
 
 // Lookahead returns the conservative lookahead (0 when unsharded).
 func (k *Kernel) Lookahead() Time { return k.lookahead }
 
-// Lane returns the scheduling handle for shard lane i (mod the lane
-// count). On an unsharded kernel every index maps to the compute lane, so
+// Window returns the sync-window width (0 when unsharded).
+func (k *Kernel) Window() Time {
+	if len(k.lanes) == 0 {
+		return 0
+	}
+	return k.window
+}
+
+// SetWindow overrides the sync-window width. Widths above the lookahead
+// are clamped to it — the safe-window argument does not hold past the
+// lookahead — and w <= 0 restores the default (the lookahead itself).
+// Results must not depend on the width; tests randomize it.
+func (k *Kernel) SetWindow(w Time) {
+	if len(k.lanes) == 0 {
+		return
+	}
+	if w <= 0 || w > k.lookahead {
+		w = k.lookahead
+	}
+	k.window = w
+}
+
+// Lane returns the scheduling handle for shard lane i (mod the total
+// lane count). On an unsharded kernel every index maps to lane 0, so
 // lane-confined subsystems can bind a handle unconditionally.
 func (k *Kernel) Lane(i int) *Shard {
 	if len(k.lanes) == 0 {
@@ -229,9 +425,75 @@ func (k *Kernel) Lane(i int) *Shard {
 	return k.lanes[i%len(k.lanes)]
 }
 
-// SetStageMin overrides the minimum multi-lane run length that fans out
-// to worker goroutines. Tests force it to 2 to exercise the parallel
-// path on small workloads; 0 or negative restores the default.
+// IOLane returns the handle for I/O lane i (mod the I/O lane count), the
+// lane-0 handle when unsharded.
+func (k *Kernel) IOLane(i int) *Shard {
+	if len(k.lanes) == 0 || k.ioLanes == 0 {
+		return k.lane0
+	}
+	return k.lanes[i%k.ioLanes]
+}
+
+// ComputeLane returns the compute-LP handle for compute node i
+// (round-robin over the compute lanes), or the lane-0 handle when the
+// kernel has no compute lanes. Events scheduled through it dispatch
+// sequentially, but queue on the lane's own heap.
+func (k *Kernel) ComputeLane(i int) *Shard {
+	n := len(k.lanes) - k.ioLanes
+	if n <= 0 {
+		return k.lane0
+	}
+	return k.lanes[k.ioLanes+i%n]
+}
+
+// isIOLane reports whether lane (1-based) is a phase-A I/O lane.
+func (k *Kernel) isIOLane(lane int32) bool {
+	return lane >= 1 && int(lane) <= k.ioLanes
+}
+
+// FenceEvery registers a fence period: every multiple of d dispatches as
+// a sequential instant outside any sync window, so handlers running
+// there (the PFS sampler) may read state across lanes and observe
+// exactly what a sequential kernel would show. Periods are deduplicated;
+// d must be positive.
+func (k *Kernel) FenceEvery(d Time) {
+	if d <= 0 {
+		panic("sim: fence period must be positive")
+	}
+	for _, p := range k.fencePeriods {
+		if p == d {
+			return
+		}
+	}
+	k.fencePeriods = append(k.fencePeriods, d)
+}
+
+// isFence reports whether t is a fence instant.
+func (k *Kernel) isFence(t Time) bool {
+	for _, p := range k.fencePeriods {
+		if t%p == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// nextFence returns the earliest fence instant strictly after t.
+func (k *Kernel) nextFence(t Time) (Time, bool) {
+	var next Time
+	ok := false
+	for _, p := range k.fencePeriods {
+		f := (t/p + 1) * p
+		if !ok || f < next {
+			next, ok = f, true
+		}
+	}
+	return next, ok
+}
+
+// SetStageMin overrides the minimum pending I/O-lane backlog that fans a
+// window out to worker goroutines. Tests force it to 2 to exercise the
+// parallel path on small workloads; 0 or negative restores the default.
 func (k *Kernel) SetStageMin(n int) {
 	if n <= 0 {
 		n = defaultStageMin
@@ -248,19 +510,19 @@ func (k *Kernel) SetObserver(fn func(at Time, seq uint64, lane int)) {
 }
 
 // laneEvent is an event tagged with the lane whose queue it was popped
-// from — only the sharded merge path materializes these; queued events
-// stay five words.
+// from — only the sequential merge path materializes these; queued
+// events stay five words.
 type laneEvent struct {
 	event
 	lp int32
 }
 
 // scheduleLane enqueues an event on the given lane. Process wakeups are
-// forced onto lane 0: processes run under the dispatcher's handoff
-// protocol and never inside a stage.
+// forced onto the owning process's lane: processes run under the
+// dispatcher's handoff protocol and never inside a phase-A worker.
 func (k *Kernel) scheduleLane(lane int32, at Time, p *Proc, fn func()) {
 	if p != nil {
-		lane = 0
+		lane = p.lane
 	}
 	if lane == 0 {
 		k.schedule(at, p, fn)
@@ -270,7 +532,10 @@ func (k *Kernel) scheduleLane(lane int32, at Time, p *Proc, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, k.now))
 	}
 	if k.inStage {
-		panic("sim: unrouted schedule from inside a parallel stage (use the lane's Shard handle)")
+		panic("sim: unrouted schedule from inside a window worker (use the lane's Shard handle)")
+	}
+	if k.replayEnd > 0 && at < k.replayEnd && k.isIOLane(lane) {
+		panic(fmt.Sprintf("sim: cross-LP schedule lands inside the open sync window: at=%v window end=%v lane=%d (delay must be >= the window width; route zero-delay staging through a compute lane)", at, k.replayEnd, lane))
 	}
 	k.seq++
 	k.laneQ[lane-1].push(event{at: at, seq: k.seq, proc: p, fn: fn})
@@ -291,38 +556,93 @@ func (k *Kernel) minNext() (Time, bool) {
 	return at, ok
 }
 
-// runBatchSharded advances the clock to at and dispatches every event
-// already queued for that instant across all lanes, in global (at, seq)
-// order. Maximal runs of shard-lane events execute as parallel stages;
-// lane-0 events dispatch sequentially between them.
-func (k *Kernel) runBatchSharded(at Time) {
-	m := k.merged[:0]
-	sources := 0
-	if k.queue.len() > 0 && k.queue.min().at == at {
-		sources++
-		for k.queue.len() > 0 && k.queue.min().at == at {
-			m = append(m, laneEvent{event: k.queue.pop()})
+// runSharded is the sharded main loop: fence instants dispatch
+// sequentially, everything else advances window by window. When bounded,
+// events after deadline stay queued.
+func (k *Kernel) runSharded(deadline Time, bounded bool) {
+	for {
+		at, ok := k.minNext()
+		if !ok || (bounded && at > deadline) {
+			break
 		}
+		if len(k.fencePeriods) > 0 && k.isFence(at) {
+			k.runInstantSeq(at)
+			continue
+		}
+		end := at + k.window
+		if f, ok2 := k.nextFence(at); ok2 && f < end {
+			end = f
+		}
+		if bounded && deadline+1 < end {
+			end = deadline + 1
+		}
+		k.runWindow(at, end)
 	}
-	for i := range k.laneQ {
-		if k.laneQ[i].len() > 0 && k.laneQ[i].min().at == at {
-			sources++
-			for k.laneQ[i].len() > 0 && k.laneQ[i].min().at == at {
-				m = append(m, laneEvent{event: k.laneQ[i].pop(), lp: int32(i + 1)})
+}
+
+// runWindow dispatches every event with timestamp in [at, end). Windows
+// with fewer than two active I/O lanes, or a pending I/O backlog below
+// stageMin, dispatch inline instant by instant — identical semantics, no
+// synchronization; otherwise the window fans out (runWindowParallel).
+func (k *Kernel) runWindow(at, end Time) {
+	active, pend := 0, 0
+	for i := 0; i < k.ioLanes; i++ {
+		q := &k.laneQ[i]
+		if q.len() > 0 {
+			pend += q.len()
+			if q.min().at < end {
+				active++
 			}
 		}
 	}
-	if sources > 1 {
-		// Per-lane pops are already seq-sorted; restore the global order.
-		sort.Slice(m, func(i, j int) bool { return m[i].seq < m[j].seq })
+	if active < 2 || pend < k.stageMin {
+		for {
+			t, ok := k.minNext()
+			if !ok || t >= end {
+				return
+			}
+			k.runInstantSeq(t)
+		}
 	}
+	k.runWindowParallel(end)
+}
+
+// runInstantSeq advances the clock to at and dispatches, in global
+// (at, seq) order, every event queued for that instant across all lanes
+// — including events the instant itself schedules. This is the
+// sequential dispatch path: fence instants and inline windows use it,
+// and it is trivially equivalent to the unsharded kernel.
+func (k *Kernel) runInstantSeq(at Time) {
 	k.now = at
-	i := 0
-	for i < len(m) {
-		if m[i].lp == 0 {
+	for {
+		m := k.merged[:0]
+		sources := 0
+		if k.queue.len() > 0 && k.queue.min().at == at {
+			sources++
+			for k.queue.len() > 0 && k.queue.min().at == at {
+				m = append(m, laneEvent{event: k.queue.pop()})
+			}
+		}
+		for i := range k.laneQ {
+			if k.laneQ[i].len() > 0 && k.laneQ[i].min().at == at {
+				sources++
+				for k.laneQ[i].len() > 0 && k.laneQ[i].min().at == at {
+					m = append(m, laneEvent{event: k.laneQ[i].pop(), lp: int32(i + 1)})
+				}
+			}
+		}
+		if len(m) == 0 {
+			k.merged = m
+			return
+		}
+		if sources > 1 {
+			// Per-lane pops are already seq-sorted; restore global order.
+			sort.Slice(m, func(i, j int) bool { return m[i].seq < m[j].seq })
+		}
+		for i := range m {
 			k.processed++
 			if k.observer != nil {
-				k.observer(m[i].at, m[i].seq, 0)
+				k.observer(m[i].at, m[i].seq, int(m[i].lp))
 			}
 			if p := m[i].proc; p != nil {
 				k.dispatch(p)
@@ -330,137 +650,218 @@ func (k *Kernel) runBatchSharded(at Time) {
 				fn()
 			}
 			m[i] = laneEvent{}
-			i++
-			continue
 		}
-		j := i + 1
-		for j < len(m) && m[j].lp != 0 {
-			j++
-		}
-		k.runStage(m[i:j])
-		for x := i; x < j; x++ {
-			m[x] = laneEvent{}
-		}
-		i = j
+		k.merged = m[:0]
 	}
-	k.merged = m[:0]
 }
 
-// runStage dispatches one maximal run of shard-lane events. Single-lane
-// or short runs execute inline (identical semantics, no synchronization);
-// otherwise each lane's events run on a worker goroutine with side
-// effects deferred, and the buffers commit in dispatch order afterwards.
-func (k *Kernel) runStage(run []laneEvent) {
-	if k.observer != nil {
-		for i := range run {
-			k.observer(run[i].at, run[i].seq, int(run[i].lp))
+// runWindowParallel executes one sync window: phase A fans the active
+// I/O lanes out to workers, phase B replays their effect logs merged
+// with the live sequential-plane queues in exact (at, seq) order.
+func (k *Kernel) runWindowParallel(end Time) {
+	if cap(k.wins) < k.ioLanes {
+		k.wins = make([]laneWin, k.ioLanes)
+	}
+	wins := k.wins[:k.ioLanes]
+	for i := 0; i < k.ioLanes; i++ {
+		w := &wins[i]
+		w.reset(end)
+		q := &k.laneQ[i]
+		for q.len() > 0 && q.min().at < end {
+			w.slice = append(w.slice, q.pop())
 		}
 	}
-	multi := false
-	for i := 1; i < len(run); i++ {
-		if run[i].lp != run[0].lp {
-			multi = true
-			break
-		}
-	}
-	if !multi || len(run) < k.stageMin {
-		for i := range run {
-			k.processed++
-			run[i].fn()
-		}
-		return
-	}
 
-	// Group event indices by lane, preserving per-lane seq order.
-	if cap(k.groups) < len(k.lanes)+1 {
-		k.groups = make([][]int, len(k.lanes)+1)
-	}
-	groups := k.groups[:len(k.lanes)+1]
-	active := k.activeLanes[:0]
-	for i := range run {
-		lp := run[i].lp
-		if len(groups[lp]) == 0 {
-			active = append(active, lp)
-		}
-		groups[lp] = append(groups[lp], i)
-	}
-
-	// Per-event deferred-effect buffers, reused across stages.
-	if cap(k.bufs) < len(run) {
-		k.bufs = make([]stageBuf, len(run))
-	}
-	bufs := k.bufs[:len(run)]
-
-	panics := k.panicScratch[:0]
-	var panicMu sync.Mutex
-
+	// Phase A: eager lane-local execution with logged effects.
 	k.inStage = true
 	var wg sync.WaitGroup
-	for _, lp := range active {
-		sh := k.lanes[lp-1]
-		idxs := groups[lp]
+	for i := 0; i < k.ioLanes; i++ {
+		if len(wins[i].slice) == 0 {
+			continue
+		}
+		sh := k.lanes[i]
+		w := &wins[i]
 		wg.Add(1)
-		go func(sh *Shard, idxs []int) {
+		go func() {
 			defer wg.Done()
-			sh.bufs = bufs
-			for _, ix := range idxs {
-				sh.cur = ix
-				func() {
-					defer func() {
-						if v := recover(); v != nil {
-							panicMu.Lock()
-							panics = append(panics, stagePanic{idx: ix, val: v})
-							panicMu.Unlock()
-						}
-					}()
-					run[ix].fn()
-				}()
-			}
-			sh.bufs = nil
-		}(sh, idxs)
+			sh.runPhaseA(w)
+		}()
 	}
 	wg.Wait()
 	k.inStage = false
-	k.processed += uint64(len(run))
-	for _, lp := range active {
-		groups[lp] = groups[lp][:0]
-		if cap(groups[lp]) > maxRetainedEvents {
-			groups[lp] = nil
-		}
-	}
-	k.activeLanes = active[:0]
 
-	if len(panics) > 0 {
-		// Re-panic deterministically: the failure the sequential kernel
-		// would have hit first.
-		first := panics[0]
-		for _, p := range panics[1:] {
-			if p.idx < first.idx {
-				first = p
+	// Phase B: deterministic replay.
+	k.replayEnd = end
+	k.replayWindow(end, wins)
+	k.replayEnd = 0
+	for i := range wins {
+		wins[i].clear()
+	}
+}
+
+// runPhaseA drains one lane's window slice — interleaved with the
+// window-local events it creates — in the lane's (at, seq | creation)
+// order, recording execution and logging effects.
+func (sh *Shard) runPhaseA(w *laneWin) {
+	sh.win = w
+	si := 0
+	for {
+		useHeap := false
+		var at Time
+		have := false
+		if si < len(w.slice) {
+			at, have = w.slice[si].at, true
+		}
+		if w.heap.len() > 0 {
+			if h := w.heap.min(); !have || h.at < at {
+				at, useHeap, have = h.at, true, true
 			}
 		}
-		k.panicScratch = nil
-		panic(first.val)
+		if !have {
+			break
+		}
+		var fn func()
+		var rec laneRec
+		if useHeap {
+			it := w.heap.pop()
+			fn = it.fn
+			rec = laneRec{at: it.at, ord: it.ord}
+		} else {
+			ev := &w.slice[si]
+			si++
+			if ev.proc != nil {
+				panic("sim: process event queued on an I/O lane")
+			}
+			fn = ev.fn
+			rec = laneRec{at: ev.at, seq: ev.seq}
+		}
+		w.recs = append(w.recs, rec)
+		cur := len(w.recs) - 1
+		sh.now = rec.at
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					w.recs[cur].panicked = true
+					w.recs[cur].pval = v
+				}
+			}()
+			if fn != nil {
+				fn()
+			}
+		}()
+		w.recs[cur].entEnd = int32(len(w.entries))
 	}
-	k.panicScratch = panics[:0]
+	sh.win = nil
+}
 
-	// Commit deferred effects in dispatch order — this reproduces the
-	// sequence-number allocation of a sequential dispatch exactly.
-	for i := range bufs {
-		entries := bufs[i].entries
-		for j := range entries {
-			e := &entries[j]
-			if e.call {
-				if e.proc != nil { // deferred Wake: continue inline
+// replayWindow merges the phase-A execution records with the live
+// sequential-plane queues (lane 0 and the compute lanes) in global
+// (at, seq) order, firing the observer, counting events, allocating
+// sequence numbers for logged schedules, and dispatching processes,
+// wakes, and deferred calls inline. A record that panicked in phase A
+// re-panics at its dispatch position — the failure the sequential kernel
+// would have hit first.
+func (k *Kernel) replayWindow(end Time, wins []laneWin) {
+	for i := range wins {
+		w := &wins[i]
+		if n := int(w.ord); n > 0 && cap(w.ordSeq) < n {
+			w.ordSeq = make([]uint64, n)
+		}
+	}
+	for {
+		var bestAt Time
+		var bestSeq uint64
+		bestQ, bestRec := -1, -1
+		found := false
+		if k.queue.len() > 0 && k.queue.min().at < end {
+			ev := k.queue.min()
+			bestAt, bestSeq, bestQ, found = ev.at, ev.seq, 0, true
+		}
+		for j := k.ioLanes; j < len(k.laneQ); j++ {
+			q := &k.laneQ[j]
+			if q.len() == 0 {
+				continue
+			}
+			ev := q.min()
+			if ev.at >= end {
+				continue
+			}
+			if !found || ev.at < bestAt || (ev.at == bestAt && ev.seq < bestSeq) {
+				bestAt, bestSeq, bestQ, bestRec, found = ev.at, ev.seq, j+1, -1, true
+			}
+		}
+		for li := range wins {
+			w := &wins[li]
+			if w.ri >= len(w.recs) {
+				continue
+			}
+			r := &w.recs[w.ri]
+			seq := r.seq
+			if seq == 0 {
+				seq = w.ordSeq[:cap(w.ordSeq)][r.ord]
+			}
+			if !found || r.at < bestAt || (r.at == bestAt && seq < bestSeq) {
+				bestAt, bestSeq, bestQ, bestRec, found = r.at, seq, -1, li, true
+			}
+		}
+		if !found {
+			return
+		}
+		k.now = bestAt
+		if bestRec < 0 {
+			var ev event
+			if bestQ == 0 {
+				ev = k.queue.pop()
+			} else {
+				ev = k.laneQ[bestQ-1].pop()
+			}
+			k.processed++
+			if k.observer != nil {
+				k.observer(ev.at, ev.seq, bestQ)
+			}
+			if ev.proc != nil {
+				k.dispatch(ev.proc)
+			} else if ev.fn != nil {
+				ev.fn()
+			}
+			continue
+		}
+		w := &wins[bestRec]
+		r := &w.recs[w.ri]
+		w.ri++
+		k.processed++
+		if k.observer != nil {
+			k.observer(r.at, bestSeq, bestRec+1)
+		}
+		if r.panicked {
+			panic(r.pval)
+		}
+		ordSeq := w.ordSeq[:cap(w.ordSeq)]
+		for ; w.ei < r.entEnd; w.ei++ {
+			e := &w.entries[w.ei]
+			switch e.kind {
+			case entryCall:
+				if e.proc != nil {
 					k.dispatch(e.proc)
 				} else {
 					e.fn()
 				}
-			} else {
-				k.scheduleLane(e.lane, e.at, e.proc, e.fn)
+			case entryLocal:
+				k.seq++
+				ordSeq[e.ord] = k.seq
+			default: // entrySchedule
+				k.seq++
+				if e.lane != 0 && e.at < end && k.isIOLane(e.lane) {
+					panic(fmt.Sprintf("sim: cross-LP schedule lands inside the open sync window: at=%v window end=%v lane=%d", e.at, end, e.lane))
+				}
+				ev := event{at: e.at, seq: k.seq, proc: e.proc, fn: e.fn}
+				if e.lane == 0 {
+					k.queue.push(ev)
+				} else {
+					k.laneQ[e.lane-1].push(ev)
+				}
 			}
-			entries[j] = stageEntry{}
+			*e = stageEntry{}
 		}
-		bufs[i].entries = entries[:0]
 	}
 }

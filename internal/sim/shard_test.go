@@ -50,18 +50,33 @@ func buildShardWorkload(seed int64, lanes, clients int) [][]shardReq {
 	return reqs
 }
 
+// shardRunOpts configures one runShardWorkload execution.
+type shardRunOpts struct {
+	shard        bool
+	window       Time // sync-window width override (0 = lookahead)
+	computeLanes int  // compute LPs; clients spawn round-robin onto them
+}
+
+// workloadLookahead is the sharded workload's true lookahead: the
+// smallest cross-lane delay any handler or process issues is one
+// 5 µs quantum, so windows up to that width are safe — and, unlike the
+// workload's 1 µs-granular event spacing, wide enough that a window
+// genuinely spans many instants.
+const workloadLookahead = 5 * time.Microsecond
+
 // runShardWorkload executes the precomputed workload on a fresh kernel —
 // sharded or not — and returns the dispatched (at, seq) sequence, the
 // final clock, and the processed-event count.
-func runShardWorkload(t *testing.T, reqs [][]shardReq, lanes int, shard bool) ([][2]uint64, Time, uint64) {
+func runShardWorkload(t *testing.T, reqs [][]shardReq, lanes int, opts shardRunOpts) ([][2]uint64, Time, uint64) {
 	t.Helper()
 	k := NewKernel()
-	lookahead := time.Microsecond
-	if shard {
-		if err := k.ConfigureShards(lanes, lookahead); err != nil {
-			t.Fatalf("ConfigureShards: %v", err)
+	lookahead := workloadLookahead
+	if opts.shard {
+		if err := k.ConfigureLanes(lanes, opts.computeLanes, lookahead); err != nil {
+			t.Fatalf("ConfigureLanes: %v", err)
 		}
 		k.SetStageMin(2)
+		k.SetWindow(opts.window)
 	}
 	var rec [][2]uint64
 	k.SetObserver(func(at Time, seq uint64, lane int) {
@@ -97,7 +112,7 @@ func runShardWorkload(t *testing.T, reqs [][]shardReq, lanes int, shard bool) ([
 	_ = barriers
 	for c := range reqs {
 		list := reqs[c]
-		k.Spawn(fmt.Sprintf("client-%d", c), func(p *Proc) {
+		k.SpawnOn(k.ComputeLane(c), fmt.Sprintf("client-%d", c), func(p *Proc) {
 			for _, r := range list {
 				p.Wait(r.think)
 				sh := k.Lane(r.lane)
@@ -133,34 +148,49 @@ func runShardWorkload(t *testing.T, reqs [][]shardReq, lanes int, shard bool) ([
 		})
 	}
 	if err := k.Run(); err != nil {
-		t.Fatalf("Run (shard=%v): %v", shard, err)
+		t.Fatalf("Run (%+v): %v", opts, err)
 	}
 	return rec, k.Now(), k.EventsProcessed()
 }
 
 // TestShardedDispatchMatchesOracle is the randomized property test: for
-// mixed process/callback workloads and 2-16 shards, the sharded kernel
-// must dispatch exactly the (at, seq) sequence of the single-threaded
-// oracle, end at the same virtual time, and process the same event count.
+// mixed process/callback workloads, 2-16 shards, randomized multi-instant
+// sync-window widths, and with or without compute-LP process
+// partitioning, the sharded kernel must dispatch exactly the (at, seq)
+// sequence of the single-threaded oracle, end at the same virtual time,
+// and process the same event count.
 func TestShardedDispatchMatchesOracle(t *testing.T) {
 	for _, lanes := range []int{2, 3, 4, 8, 16} {
 		for seed := int64(1); seed <= 3; seed++ {
 			reqs := buildShardWorkload(seed, lanes, 8)
-			oracle, oEnd, oN := runShardWorkload(t, reqs, lanes, false)
-			got, gEnd, gN := runShardWorkload(t, reqs, lanes, true)
-			if gEnd != oEnd {
-				t.Fatalf("lanes=%d seed=%d: end %v, oracle %v", lanes, seed, gEnd, oEnd)
+			oracle, oEnd, oN := runShardWorkload(t, reqs, lanes, shardRunOpts{})
+			// Window widths: per-instant-ish (1 µs), a deliberately odd
+			// width that slices instants unevenly, the full lookahead,
+			// and two randomized widths in (0, lookahead].
+			wrng := rand.New(rand.NewSource(seed * 1031))
+			widths := []Time{time.Microsecond, 1700 * time.Nanosecond, workloadLookahead}
+			for i := 0; i < 2; i++ {
+				widths = append(widths, Time(1+wrng.Intn(int(workloadLookahead))))
 			}
-			if gN != oN {
-				t.Fatalf("lanes=%d seed=%d: %d events, oracle %d", lanes, seed, gN, oN)
-			}
-			if len(got) != len(oracle) {
-				t.Fatalf("lanes=%d seed=%d: %d dispatches, oracle %d", lanes, seed, len(got), len(oracle))
-			}
-			for i := range got {
-				if got[i] != oracle[i] {
-					t.Fatalf("lanes=%d seed=%d: dispatch %d is (at=%d, seq=%d), oracle (at=%d, seq=%d)",
-						lanes, seed, i, got[i][0], got[i][1], oracle[i][0], oracle[i][1])
+			for wi, width := range widths {
+				for _, computeLanes := range []int{0, 3} {
+					opts := shardRunOpts{shard: true, window: width, computeLanes: computeLanes}
+					got, gEnd, gN := runShardWorkload(t, reqs, lanes, opts)
+					if gEnd != oEnd {
+						t.Fatalf("lanes=%d seed=%d w=%v c=%d: end %v, oracle %v", lanes, seed, width, computeLanes, gEnd, oEnd)
+					}
+					if gN != oN {
+						t.Fatalf("lanes=%d seed=%d w=%v c=%d: %d events, oracle %d", lanes, seed, width, computeLanes, gN, oN)
+					}
+					if len(got) != len(oracle) {
+						t.Fatalf("lanes=%d seed=%d w=%v c=%d: %d dispatches, oracle %d", lanes, seed, width, computeLanes, len(got), len(oracle))
+					}
+					for i := range got {
+						if got[i] != oracle[i] {
+							t.Fatalf("lanes=%d seed=%d w[%d]=%v c=%d: dispatch %d is (at=%d, seq=%d), oracle (at=%d, seq=%d)",
+								lanes, seed, wi, width, computeLanes, i, got[i][0], got[i][1], oracle[i][0], oracle[i][1])
+						}
+					}
 				}
 			}
 		}
@@ -252,6 +282,135 @@ func TestSuspendDeadlockDiagnosis(t *testing.T) {
 	}
 	if len(de.Blocked) != 1 || de.Blocked[0] != "stuck: waiting for nothing" {
 		t.Fatalf("blocked = %v", de.Blocked)
+	}
+}
+
+// TestFenceVisibility pins the fence contract: a lane-0 process that
+// reads lane-confined state at registered fence instants must observe
+// exactly the values a sequential kernel would show, even when windows
+// would otherwise let a lane execute past the reader's instant.
+func TestFenceVisibility(t *testing.T) {
+	run := func(shard bool) []int {
+		k := NewKernel()
+		lookahead := 40 * time.Microsecond
+		if shard {
+			if err := k.ConfigureShards(2, lookahead); err != nil {
+				t.Fatal(err)
+			}
+			k.SetStageMin(2)
+		}
+		// Each lane increments its counter every 3 µs; 40 µs windows would
+		// let phase A run far past a sampler's instant without the fence.
+		counters := make([]int, 2)
+		for i := 0; i < 2; i++ {
+			i := i
+			sh := k.Lane(i)
+			remaining := 200
+			var tick func()
+			tick = func() {
+				counters[i]++
+				if remaining > 0 {
+					remaining--
+					sh.After(3*time.Microsecond, tick)
+				}
+			}
+			sh.After(3*time.Microsecond, tick)
+		}
+		interval := 10 * time.Microsecond
+		k.FenceEvery(interval)
+		var samples []int
+		k.Spawn("sampler", func(p *Proc) {
+			for s := 0; s < 20; s++ {
+				p.Wait(interval)
+				samples = append(samples, counters[0]+counters[1])
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return samples
+	}
+	oracle := run(false)
+	got := run(true)
+	if fmt.Sprint(got) != fmt.Sprint(oracle) {
+		t.Fatalf("fenced samples %v, oracle %v", got, oracle)
+	}
+}
+
+// TestInWindowCrossLPSchedulePanics pins the window-safety guard: a
+// dispatcher-context schedule that targets an I/O lane and lands inside
+// the open sync window (delay below the window width) must panic rather
+// than execute out of lane order.
+func TestInWindowCrossLPSchedulePanics(t *testing.T) {
+	k := NewKernel()
+	lookahead := 10 * time.Microsecond
+	if err := k.ConfigureShards(2, lookahead); err != nil {
+		t.Fatal(err)
+	}
+	k.SetStageMin(2)
+	// Both lanes have events at 10 µs, so the window [10 µs, 20 µs) fans
+	// out; a lane-0 event at the same instant then schedules onto an I/O
+	// lane with a 1 µs delay — inside the open window.
+	for i := 0; i < 2; i++ {
+		k.Lane(i).After(10*time.Microsecond, func() {})
+	}
+	k.After(10*time.Microsecond, func() {
+		k.Lane(0).After(time.Microsecond, func() {})
+	})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("in-window cross-LP schedule did not panic")
+		}
+		if s := fmt.Sprint(v); !contains(s, "sync window") {
+			t.Fatalf("unexpected panic: %v", v)
+		}
+	}()
+	k.Run()
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLanePartition pins the I/O / compute lane split: handle mapping,
+// counts, and process homing via SpawnOn.
+func TestLanePartition(t *testing.T) {
+	k := NewKernel()
+	if err := k.ConfigureLanes(3, 2, time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if k.ShardCount() != 5 || k.IOLaneCount() != 3 || k.ComputeLaneCount() != 2 {
+		t.Fatalf("counts = %d/%d/%d, want 5/3/2", k.ShardCount(), k.IOLaneCount(), k.ComputeLaneCount())
+	}
+	if k.IOLane(0).Lane() != 1 || k.IOLane(3).Lane() != 1 || k.IOLane(2).Lane() != 3 {
+		t.Fatal("IOLane must wrap modulo the I/O lane count")
+	}
+	if k.ComputeLane(0).Lane() != 4 || k.ComputeLane(1).Lane() != 5 || k.ComputeLane(2).Lane() != 4 {
+		t.Fatal("ComputeLane must wrap modulo the compute lane count")
+	}
+	p := k.SpawnOn(k.ComputeLane(0), "homed", func(p *Proc) { p.Wait(time.Millisecond) })
+	if p.lane != 4 {
+		t.Fatalf("process homed on lane %d, want 4", p.lane)
+	}
+	if q := k.SpawnOn(k.IOLane(0), "not-homed", func(p *Proc) {}); q.lane != 0 {
+		t.Fatalf("I/O-lane SpawnOn homed process on lane %d, want 0", q.lane)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	k2 := NewKernel()
+	if err := k2.ConfigureLanes(0, 2, time.Microsecond); err == nil {
+		t.Fatal("sharding without an I/O lane must be rejected")
+	}
+	if k2.ComputeLane(3) != k2.lane0 {
+		t.Fatal("unsharded ComputeLane must map to lane 0")
 	}
 }
 

@@ -1,0 +1,141 @@
+package paragonio_test
+
+// Scaled-machine runs: the paper's Caltech Paragon was a 16x32 mesh with
+// 16 I/O nodes, but its future-work section asks how the I/O balance
+// holds up as machines grow. These runs put the simulator on a scaled
+// mesh — up to 128x128 with 256 I/O nodes — which is also where the
+// sharded kernel's multi-instant sync windows earn their keep: with 256
+// I/O lanes the per-instant barrier of the old protocol would dominate.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"paragonio/internal/core"
+	"paragonio/internal/mesh"
+	"paragonio/internal/pfs"
+	"paragonio/internal/workload"
+)
+
+// scaledMeshRun executes a staging-style workload on a rows x cols mesh
+// with ioNodes I/O nodes: every compute process loops seek/read/write
+// rounds against one large striped file at node-distinct offsets, so
+// requests fan out across disjoint I/O-node subsets — the access shape
+// that keeps many lanes busy inside one sync window.
+func scaledMeshRun(rows, cols, ioNodes, nodes, rounds, shards int, window time.Duration) (*core.Result, error) {
+	mcfg := mesh.DefaultConfig()
+	mcfg.Rows, mcfg.Cols, mcfg.IONodes = rows, cols, ioNodes
+	cfg := core.Config{
+		Nodes:   nodes,
+		Mesh:    &mcfg,
+		IONodes: ioNodes,
+		Seed:    1,
+		Shards:  shards,
+		Window:  window,
+	}
+	return core.Run(cfg, "scaled", fmt.Sprintf("%dx%d", rows, cols),
+		func(m *workload.Machine, seed int64) error {
+			const fileSize = 1 << 30
+			m.FS.CreateFile("field", fileSize)
+			m.SpawnNodes(seed, func(n *workload.Node) {
+				h, err := m.FS.Open(n.P, n.ID, "field", pfs.MAsync)
+				if err != nil {
+					panic(err)
+				}
+				h.SetBuffering(false)
+				for r := 0; r < rounds; r++ {
+					off := (int64(n.ID)*int64(rounds) + int64(r)) * (1 << 20) % fileSize
+					if err := h.Seek(n.P, off); err != nil {
+						panic(err)
+					}
+					if _, err := h.Read(n.P, 1<<20); err != nil {
+						panic(err)
+					}
+					if err := h.Seek(n.P, off); err != nil {
+						panic(err)
+					}
+					if _, err := h.Write(n.P, 256<<10); err != nil {
+						panic(err)
+					}
+				}
+				h.Close(n.P)
+			})
+			return nil
+		})
+}
+
+// TestScaledMeshShardedDigest is the CI smoke leg: a 32x32 mesh with 64
+// I/O nodes at `-shards auto` (GOMAXPROCS-equivalent plus a fixed wide
+// count) must produce the bit-identical trace of the single-threaded
+// kernel. The -race CI job runs this to sweep the window protocol's
+// phase-A parallelism on a topology bigger than the paper machine.
+func TestScaledMeshShardedDigest(t *testing.T) {
+	base, err := scaledMeshRun(32, 32, 64, 64, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Trace.Digest()
+	if base.Trace.Len() == 0 {
+		t.Fatal("scaled run produced an empty trace")
+	}
+	auto := runtime.GOMAXPROCS(0)
+	if auto < 2 {
+		auto = 2
+	}
+	cases := []struct {
+		shards int
+		window time.Duration
+	}{
+		{auto, 0},
+		{8, 0},
+		{8, 7 * time.Microsecond},
+		{72, 0}, // 64 I/O lanes + 8 compute lanes
+	}
+	for _, tc := range cases {
+		res, err := scaledMeshRun(32, 32, 64, 64, 2, tc.shards, tc.window)
+		if err != nil {
+			t.Fatalf("shards=%d window=%v: %v", tc.shards, tc.window, err)
+		}
+		if d := res.Trace.Digest(); d != want {
+			t.Errorf("shards=%d window=%v: digest %#016x, want %#016x",
+				tc.shards, tc.window, d, want)
+		}
+		if res.Exec != base.Exec {
+			t.Errorf("shards=%d window=%v: virtual exec %v, want %v",
+				tc.shards, tc.window, res.Exec, base.Exec)
+		}
+	}
+}
+
+// BenchmarkScaledMeshShards is the scaling ladder on the scaled machine:
+// a 128x128 mesh with 256 I/O nodes and 256 compute processes, run at
+// 1/2/4/8/16 shards. Every row must produce the bit-identical trace; only
+// the wall clock may differ. On a single-core host the sharded rows
+// measure window-protocol overhead, not speedup — PERFORMANCE.md records
+// the honest numbers either way.
+func BenchmarkScaledMeshShards(b *testing.B) {
+	var digest uint64
+	for _, shards := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var v float64
+			for i := 0; i < b.N; i++ {
+				res, err := scaledMeshRun(128, 128, 256, 256, 4, shards, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d := res.Trace.Digest()
+				if digest == 0 {
+					digest = d
+				} else if d != digest {
+					b.Fatalf("shards=%d: digest %#016x, want %#016x — sharding changed the trace",
+						shards, d, digest)
+				}
+				v = res.Exec.Seconds()
+			}
+			b.ReportMetric(v, "virtual_s")
+		})
+	}
+}
