@@ -1,7 +1,7 @@
 # paragonio — reproduction of Smirni et al., HPDC 1996.
 GO ?= go
 
-.PHONY: all build test test-short vet vet-race vet-race-clientcache vet-race-scaled fmt bench bench-smoke bench-json bench-diff tables experiments docs-verify clean
+.PHONY: all build test test-short vet vet-race vet-race-clientcache vet-race-scaled fmt bench bench-smoke bench-json bench-diff tables experiments docs-verify service-smoke clean
 
 all: build test
 
@@ -77,10 +77,16 @@ tables:
 experiments:
 	$(GO) run ./cmd/iotables -summary
 
-# Run every shell command documented in README.md and docs/ADVISOR.md
-# code fences, so the quickstarts cannot rot.
+# Run every shell command documented in README.md, docs/ADVISOR.md, and
+# docs/SERVICE.md code fences, so the quickstarts cannot rot.
 docs-verify:
 	bash scripts/docs-verify.sh
+
+# Build the iosimd daemon, boot it on an ephemeral port, and walk the
+# service contract end to end: health, simulate (pinned to the golden
+# digest), cache-hit re-request, metrics scrape.
+service-smoke:
+	bash scripts/service-smoke.sh
 
 clean:
 	rm -rf artifacts

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-addr", "nope"}, "invalid -addr"},
+		{[]string{"-timeout", "-3s"}, "invalid -timeout"},
+		{[]string{"-slots", "zero"}, "invalid -slots"},
+		{[]string{"-queue", "-1"}, "invalid -queue"},
+		{[]string{"-cache-mb", "0"}, "invalid -cache-mb"},
+	} {
+		err := run(tc.args, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) = %v, want error mentioning %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestRunServesAndDrains boots the daemon on an ephemeral port, reads
+// the advertised address from stdout, exercises the health and metrics
+// endpoints plus a request-validation failure, and shuts down on
+// SIGTERM.
+func TestRunServesAndDrains(t *testing.T) {
+	pr, pw := io.Pipe()
+	errc := make(chan error, 1)
+	go func() { errc <- run([]string{"-addr", "127.0.0.1:0"}, pw) }()
+
+	line, err := bufio.NewReader(pr).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	go io.Copy(io.Discard, pr) // drain the shutdown line
+	const prefix = "iosimd: listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := "http://" + strings.TrimSpace(strings.TrimPrefix(line, prefix))
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "iosimd_requests_total") {
+		t.Error("metrics scrape missing iosimd_requests_total")
+	}
+
+	resp, err = http.Post(base+"/v1/simulate", "application/json",
+		strings.NewReader(`{"app":"nope","version":"C"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad simulate status %d, want 400", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Errorf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+}

@@ -11,6 +11,7 @@
 package escat
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -332,6 +333,12 @@ func Run(d Dataset, v Version, seed int64) (*core.Result, error) {
 // RunOn executes the dataset/version on a caller-supplied platform
 // configuration (for machine-sensitivity studies).
 func RunOn(cfg core.Config, d Dataset, v Version) (*core.Result, error) {
+	return RunOnContext(context.Background(), cfg, d, v)
+}
+
+// RunOnContext is RunOn with cancellation: an expiring or cancelled ctx
+// aborts the simulation mid-run (see core.RunContext).
+func RunOnContext(ctx context.Context, cfg core.Config, d Dataset, v Version) (*core.Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -341,7 +348,7 @@ func RunOn(cfg core.Config, d Dataset, v Version) (*core.Result, error) {
 	if cfg.Nodes != d.Nodes {
 		return nil, fmt.Errorf("escat: config nodes %d != dataset nodes %d", cfg.Nodes, d.Nodes)
 	}
-	return core.Run(cfg, "ESCAT", v.ID, func(m *workload.Machine, seed int64) error {
+	return core.RunContext(ctx, cfg, "ESCAT", v.ID, func(m *workload.Machine, seed int64) error {
 		return Script(m, d, v, seed)
 	})
 }

@@ -5,9 +5,11 @@ package cliflags
 
 import (
 	"fmt"
+	"net"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // ParseShards resolves a -shards flag value: a positive integer or
@@ -64,6 +66,31 @@ func Only(csv, what string, valid []string) (map[string]bool, error) {
 		wanted[id] = true
 	}
 	return wanted, nil
+}
+
+// ParseAddr validates a -addr flag value: a TCP listen address in
+// host:port form. The host may be empty (":8080" listens on every
+// interface) and the port may be 0 (the kernel picks a free one — the
+// smoke scripts' idiom); a bare port or a bare host is rejected.
+func ParseAddr(s string) (string, error) {
+	_, port, err := net.SplitHostPort(s)
+	if err != nil {
+		return "", fmt.Errorf("invalid -addr %q (want host:port, e.g. :8080)", s)
+	}
+	if n, err := strconv.Atoi(port); err != nil || n < 0 || n > 65535 {
+		return "", fmt.Errorf("invalid -addr %q (want host:port, e.g. :8080)", s)
+	}
+	return s, nil
+}
+
+// ParseTimeout resolves a -timeout flag value: a positive Go duration
+// ("30s", "2m") bounding how long one request may hold the engine.
+func ParseTimeout(s string) (time.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("invalid -timeout %q (want a positive duration, e.g. 30s)", s)
+	}
+	return d, nil
 }
 
 // Sweep validates a -sweep flag value against the valid dimensions.

@@ -3,7 +3,48 @@ package cliflags
 import (
 	"runtime"
 	"testing"
+	"time"
 )
+
+func TestParseAddr(t *testing.T) {
+	for _, good := range []string{":8080", "127.0.0.1:0", "localhost:9090", "[::1]:8080", ":0"} {
+		if got, err := ParseAddr(good); err != nil || got != good {
+			t.Errorf("ParseAddr(%q) = %q, %v", good, got, err)
+		}
+	}
+	for _, bad := range []string{"", "8080", "localhost", "host:port", "1.2.3.4:99999", "a:b:c"} {
+		_, err := ParseAddr(bad)
+		if err == nil {
+			t.Errorf("ParseAddr(%q) accepted", bad)
+			continue
+		}
+		// Pinned error text, in the ParseJobs style: scripts may match it.
+		want := `invalid -addr "` + bad + `" (want host:port, e.g. :8080)`
+		if err.Error() != want {
+			t.Errorf("ParseAddr(%q) error %q, want %q", bad, err, want)
+		}
+	}
+}
+
+func TestParseTimeout(t *testing.T) {
+	if d, err := ParseTimeout("90s"); err != nil || d != 90*time.Second {
+		t.Errorf("ParseTimeout(90s) = %v, %v", d, err)
+	}
+	if d, err := ParseTimeout("2m"); err != nil || d != 2*time.Minute {
+		t.Errorf("ParseTimeout(2m) = %v, %v", d, err)
+	}
+	for _, bad := range []string{"", "0", "0s", "-5s", "fast", "30"} {
+		_, err := ParseTimeout(bad)
+		if err == nil {
+			t.Errorf("ParseTimeout(%q) accepted", bad)
+			continue
+		}
+		want := `invalid -timeout "` + bad + `" (want a positive duration, e.g. 30s)`
+		if err.Error() != want {
+			t.Errorf("ParseTimeout(%q) error %q, want %q", bad, err, want)
+		}
+	}
+}
 
 func TestParseShards(t *testing.T) {
 	if n, err := ParseShards("4"); err != nil || n != 4 {

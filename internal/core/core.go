@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -199,9 +200,22 @@ func (r *Result) IOPercent() float64 {
 // processes (typically via Machine.SpawnNodes); Run drives the kernel to
 // completion and snapshots the outcome.
 func Run(cfg Config, app, version string, script func(m *workload.Machine, seed int64) error) (*Result, error) {
+	return RunContext(context.Background(), cfg, app, version, script)
+}
+
+// RunContext is Run with cancellation: the simulation kernel polls
+// ctx.Err between dispatch batches and, when the context is cancelled or
+// times out, unwinds every simulated process and returns the context's
+// error (errors.Is-matchable against context.Canceled /
+// context.DeadlineExceeded). A background context adds no polling, so
+// canonical runs — and their golden trace digests — are untouched.
+func RunContext(ctx context.Context, cfg Config, app, version string, script func(m *workload.Machine, seed int64) error) (*Result, error) {
 	p, err := NewPlatform(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if ctx != nil && ctx.Done() != nil {
+		p.Machine.K.SetCancel(ctx.Err)
 	}
 	var sampler *pfs.Sampler
 	if cfg.SampleInterval > 0 {

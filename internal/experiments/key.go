@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"paragonio/internal/core"
+)
+
+// ConfigKey returns the canonical content address of one application run:
+// a 64-bit FNV-1a hash (16 hex digits) over app — the run's identity
+// string, e.g. "eth/C" or "escat/ethylene/C" — and every field of cfg
+// that can influence the simulated outcome, serialized in a fixed order.
+//
+// Two configurations that mean the same run hash equal: the deprecated
+// Cache alias is resolved onto Tiers.IONode before hashing, so a config
+// expressed either way gets the same key. Any semantic difference —
+// seed, shard count, window width, cache-tier parameter, machine
+// override — changes the key. The Suite keys its singleflight run cache
+// through ConfigKey (guarding against a Suite whose Seed/Shards/Window
+// are mutated after runs began serving stale entries), and the iosimd
+// daemon uses it as the content address of its persistent result cache.
+//
+// The key is stable within one build of this repository. It is not an
+// across-versions contract: the serialization carries a version tag
+// ("v1") precisely so a future field addition can revalidate spilled
+// artifacts by changing it.
+func ConfigKey(cfg core.Config, app string) string {
+	h := fnv.New64a()
+	h.Write([]byte(canonicalConfig(cfg, app)))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// canonicalConfig serializes (cfg, app) with stable field ordering. All
+// nested override structs (mesh.Config, disk.Params, pfs.Costs,
+// cache.Config, cache.ClientConfig) are flat value types — durations,
+// ints, floats — so %+v renders them deterministically, field names
+// included (a reordering of struct fields changes the string, never the
+// mapping from semantics to string).
+func canonicalConfig(cfg core.Config, app string) string {
+	tiers := cfg.Tiers
+	if cfg.Cache != nil && tiers.IONode == nil {
+		tiers.IONode = cfg.Cache // resolve the deprecated alias
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "v1|app=%s|nodes=%d|ionodes=%d|stripe=%d|seed=%d|shards=%d|window=%d|sample=%d",
+		app, cfg.Nodes, cfg.IONodes, cfg.StripeUnit, cfg.Seed, cfg.Shards,
+		int64(cfg.Window), int64(cfg.SampleInterval))
+	if cfg.Mesh != nil {
+		fmt.Fprintf(&b, "|mesh=%+v", *cfg.Mesh)
+	}
+	if cfg.Disk != nil {
+		fmt.Fprintf(&b, "|disk=%+v", *cfg.Disk)
+	}
+	if cfg.Costs != nil {
+		fmt.Fprintf(&b, "|costs=%+v", *cfg.Costs)
+	}
+	if tiers.IONode != nil {
+		fmt.Fprintf(&b, "|ionode=%+v", *tiers.IONode)
+	}
+	if tiers.Client != nil {
+		fmt.Fprintf(&b, "|client=%+v", *tiers.Client)
+	}
+	return b.String()
+}

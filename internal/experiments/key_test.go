@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"regexp"
+	"testing"
+	"time"
+
+	"paragonio/internal/cache"
+	"paragonio/internal/core"
+	"paragonio/internal/disk"
+	"paragonio/internal/mesh"
+)
+
+// TestConfigKeySemanticEquality pins that configurations meaning the
+// same run hash equal: literally identical configs, and the deprecated
+// Cache alias against its Tiers.IONode spelling.
+func TestConfigKeySemanticEquality(t *testing.T) {
+	base := core.Config{Seed: 1, Shards: 4, Window: 7 * time.Microsecond}
+	if ConfigKey(base, "eth/C") != ConfigKey(base, "eth/C") {
+		t.Fatal("identical configs hash differently")
+	}
+	cc := &cache.Config{WriteBehind: true, ReadAhead: 4, CapacityBytes: 32 << 20}
+	viaTiers := base
+	viaTiers.Tiers.IONode = cc
+	viaAlias := base
+	viaAlias.Cache = cc
+	if ConfigKey(viaTiers, "eth/C") != ConfigKey(viaAlias, "eth/C") {
+		t.Error("Tiers.IONode and the deprecated Cache alias hash differently for the same cache config")
+	}
+	// Distinct pointers to equal-valued configs are also the same run.
+	viaAlias.Cache = &cache.Config{WriteBehind: true, ReadAhead: 4, CapacityBytes: 32 << 20}
+	if ConfigKey(viaTiers, "eth/C") != ConfigKey(viaAlias, "eth/C") {
+		t.Error("equal-valued cache configs behind distinct pointers hash differently")
+	}
+}
+
+// TestConfigKeyFieldSensitivity mutates every run-relevant field — and
+// the app identity — one at a time, and requires each mutation to change
+// the hash and all hashes to be pairwise distinct.
+func TestConfigKeyFieldSensitivity(t *testing.T) {
+	base := core.Config{Seed: 1}
+	mutations := []struct {
+		name string
+		cfg  core.Config
+		app  string
+	}{
+		{"seed", core.Config{Seed: 2}, "eth/C"},
+		{"nodes", core.Config{Seed: 1, Nodes: 128}, "eth/C"},
+		{"shards", core.Config{Seed: 1, Shards: 8}, "eth/C"},
+		{"window", core.Config{Seed: 1, Window: 7 * time.Microsecond}, "eth/C"},
+		{"ionodes", core.Config{Seed: 1, IONodes: 32}, "eth/C"},
+		{"stripe", core.Config{Seed: 1, StripeUnit: 128 << 10}, "eth/C"},
+		{"sample", core.Config{Seed: 1, SampleInterval: time.Second}, "eth/C"},
+		{"mesh", core.Config{Seed: 1, Mesh: func() *mesh.Config { c := mesh.DefaultConfig(); c.Rows = 32; return &c }()}, "eth/C"},
+		{"disk", core.Config{Seed: 1, Disk: func() *disk.Params { d := disk.DefaultParams(); d.DataDisks = 8; return &d }()}, "eth/C"},
+		{"ionode-tier", core.Config{Seed: 1, Tiers: cache.Tiers{IONode: &cache.Config{WriteBehind: true}}}, "eth/C"},
+		{"ionode-ra", core.Config{Seed: 1, Tiers: cache.Tiers{IONode: &cache.Config{WriteBehind: true, ReadAhead: 4}}}, "eth/C"},
+		{"ionode-cap", core.Config{Seed: 1, Tiers: cache.Tiers{IONode: &cache.Config{WriteBehind: true, CapacityBytes: 1 << 20}}}, "eth/C"},
+		{"ionode-deadline", core.Config{Seed: 1, Tiers: cache.Tiers{IONode: &cache.Config{WriteBehind: true, FlushDeadline: 100 * time.Millisecond}}}, "eth/C"},
+		{"client-tier", core.Config{Seed: 1, Tiers: cache.Tiers{Client: &cache.ClientConfig{}}}, "eth/C"},
+		{"client-cap", core.Config{Seed: 1, Tiers: cache.Tiers{Client: &cache.ClientConfig{CapacityBytes: 8 << 20}}}, "eth/C"},
+		{"client-ttl", core.Config{Seed: 1, Tiers: cache.Tiers{Client: &cache.ClientConfig{LeaseTTL: 10 * time.Minute}}}, "eth/C"},
+		{"app", base, "prism/C"},
+	}
+	hexKey := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := map[string]string{ConfigKey(base, "eth/C"): "base"}
+	for _, m := range mutations {
+		k := ConfigKey(m.cfg, m.app)
+		if !hexKey.MatchString(k) {
+			t.Fatalf("%s: key %q is not 16 hex digits", m.name, k)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutation %q hashes identically to %q (key %s)", m.name, prev, k)
+		}
+		seen[k] = m.name
+	}
+}
+
+// TestSuiteKeyGuardsMutation pins the singleflight guard: mutating a
+// Suite's configuration after a run is cached must not serve the stale
+// result for the new configuration.
+func TestSuiteKeyGuardsMutation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size paper workloads skipped in -short mode")
+	}
+	s := NewSuite(1)
+	first, err := s.Prism("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Seed = 2 // the latent bug: before ConfigKey keying, this served the seed-1 run
+	second, err := s.Prism("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == second {
+		t.Fatal("mutated Suite served the cached result of the old configuration")
+	}
+	if first.Trace.Digest() == second.Trace.Digest() {
+		t.Error("seed change produced an identical trace — mutation not reflected in the run")
+	}
+}

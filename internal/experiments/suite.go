@@ -58,8 +58,13 @@ func (s *Suite) cfg() core.Config {
 	return core.Config{Seed: s.Seed, Shards: s.Shards, Window: s.Window}
 }
 
-// run returns the cached result for key, executing f on first use.
-func (s *Suite) run(key string, f func() (*core.Result, error)) (*core.Result, error) {
+// run returns the cached result for the run identified by id, executing
+// f on first use. The cache key is ConfigKey(s.cfg(), id) rather than id
+// alone, so a Suite whose Seed/Shards/Window fields are mutated after
+// runs began never serves a result computed under the old configuration
+// — the new configuration simply misses and recomputes.
+func (s *Suite) run(id string, f func() (*core.Result, error)) (*core.Result, error) {
+	key := ConfigKey(s.cfg(), id)
 	s.mu.Lock()
 	if s.runs == nil {
 		s.runs = make(map[string]*runSlot)

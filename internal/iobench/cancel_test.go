@@ -1,0 +1,100 @@
+package iobench
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"paragonio/internal/pfs"
+)
+
+// cancelParams is a benchmark big enough to guarantee the run is still
+// in flight when a mid-run cancel lands.
+func cancelParams() Params {
+	return Params{
+		Kernel:  StridedReload,
+		Mode:    pfs.MUnix,
+		Nodes:   64,
+		Request: 4 << 10,
+		Volume:  64 << 20,
+	}
+}
+
+// settleGoroutines polls until the goroutine count drops back to the
+// baseline (or the deadline passes), giving exited simulated processes
+// time to be observed.
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines did not settle: %d live, baseline %d — simulated processes leaked",
+		runtime.NumGoroutine(), baseline)
+}
+
+// TestRunContextPreCancelled pins the deterministic abort path: a
+// context cancelled before the run starts aborts at the first poll, the
+// error matches context.Canceled, and every spawned simulated process
+// (none of which ever ran) exits its goroutine.
+func TestRunContextPreCancelled(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, cancelParams())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext(cancelled) = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("RunContext(cancelled) returned a result: %+v", res)
+	}
+	settleGoroutines(t, baseline)
+}
+
+// TestRunContextCancelMidRun cancels while the engine is running and
+// requires a prompt abort with no goroutine leak: the parked node
+// processes and the PFS machinery all unwind.
+func TestRunContextCancelMidRun(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RunContext(ctx, cancelParams())
+	elapsed := time.Since(start)
+	if err == nil {
+		// The run beat the cancel — make the workload bigger if this
+		// ever happens in practice.
+		t.Skip("run completed before cancel; nothing to assert")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("abort took %v — not prompt", elapsed)
+	}
+	settleGoroutines(t, baseline)
+}
+
+// TestRunContextTimeout exercises the deadline path end to end.
+func TestRunContextTimeout(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := RunContext(ctx, cancelParams())
+	if err == nil {
+		t.Skip("run completed before the deadline; nothing to assert")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext = %v, want context.DeadlineExceeded", err)
+	}
+	settleGoroutines(t, baseline)
+}

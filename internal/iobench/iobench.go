@@ -12,6 +12,7 @@
 package iobench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -182,6 +183,14 @@ func (r Result) MeanOpMillis() float64 {
 
 // Run executes the benchmark on a fresh platform.
 func Run(p Params) (*Result, error) {
+	return RunContext(context.Background(), p)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled or times
+// out mid-run, the simulation aborts promptly (between event batches),
+// all simulated-process goroutines exit, and the context's error is
+// returned — so an abandoned caller stops burning shard workers.
+func RunContext(ctx context.Context, p Params) (*Result, error) {
 	p, err := p.withDefaults()
 	if err != nil {
 		return nil, err
@@ -194,7 +203,7 @@ func Run(p Params) (*Result, error) {
 		Tiers:      p.Tiers,
 		Shards:     p.Shards,
 	}
-	res, err := core.Run(cfg, "iobench", p.Kernel.String(),
+	res, err := core.RunContext(ctx, cfg, "iobench", p.Kernel.String(),
 		func(m *workload.Machine, seed int64) error {
 			return install(m, p, seed)
 		})

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrQueueFull is returned by Admitter.Acquire when the bounded wait
+// queue is already at capacity; handlers map it to 429 + Retry-After.
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// Admitter is the daemon's admission controller: a weighted slot pool
+// (slots are sized off GOMAXPROCS — one slot ≈ one core the engine may
+// occupy) with a bounded FIFO wait queue.
+//
+// Each run acquires a cost proportional to the concurrency it will
+// consume: a single-threaded run costs one slot, a sharded run costs its
+// shard count — big meshes with many lanes get fewer concurrent
+// admissions, so the daemon never oversubscribes the machine. Waiters
+// are served strictly in arrival order (head-of-line blocking is
+// deliberate: a wide request must not starve behind a stream of narrow
+// ones). When the wait queue is full, Acquire fails fast with
+// ErrQueueFull so the caller can shed load instead of stacking it.
+type Admitter struct {
+	slots    int
+	maxQueue int
+
+	mu      sync.Mutex
+	free    int
+	waiters []*waiter
+
+	// Optional observability hooks (nil-safe): queue depth and busy
+	// slots as gauge setters, rejected admissions as a counter.
+	onQueueDepth func(int64)
+	onInFlight   func(int64)
+	onReject     func()
+}
+
+type waiter struct {
+	need  int
+	ready chan struct{} // closed when granted
+}
+
+// NewAdmitter builds an admission controller with the given slot pool
+// and wait-queue bound. slots < 1 and maxQueue < 0 are clamped.
+func NewAdmitter(slots, maxQueue int) *Admitter {
+	if slots < 1 {
+		slots = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admitter{slots: slots, maxQueue: maxQueue, free: slots}
+}
+
+// Slots returns the pool size.
+func (a *Admitter) Slots() int { return a.slots }
+
+// Cost clamps a requested concurrency to an admissible slot cost.
+func (a *Admitter) Cost(shards int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > a.slots {
+		shards = a.slots
+	}
+	return shards
+}
+
+// Acquire claims cost slots, waiting in the bounded FIFO queue when the
+// pool is busy. It returns a release function on success; ErrQueueFull
+// when the queue is at capacity; or ctx.Err() if the context ends while
+// waiting. cost is clamped to the pool size.
+func (a *Admitter) Acquire(ctx context.Context, cost int) (func(), error) {
+	cost = a.Cost(cost)
+	a.mu.Lock()
+	if len(a.waiters) == 0 && a.free >= cost {
+		a.free -= cost
+		a.observeLocked()
+		a.mu.Unlock()
+		return a.releaseFunc(cost), nil
+	}
+	if len(a.waiters) >= a.maxQueue {
+		a.mu.Unlock()
+		if a.onReject != nil {
+			a.onReject()
+		}
+		return nil, fmt.Errorf("%w (%d waiting, %d slots busy)", ErrQueueFull, a.maxQueue, a.slots-a.free)
+	}
+	w := &waiter{need: cost, ready: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.observeLocked()
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return a.releaseFunc(cost), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		granted := false
+		select {
+		case <-w.ready:
+			granted = true // grant raced the cancellation; give the slots back
+		default:
+			for i, q := range a.waiters {
+				if q == w {
+					a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+					break
+				}
+			}
+		}
+		a.observeLocked()
+		a.mu.Unlock()
+		if granted {
+			a.releaseFunc(cost)()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc returns the idempotent release closure for cost slots.
+func (a *Admitter) releaseFunc(cost int) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.free += cost
+			a.grantLocked()
+			a.observeLocked()
+			a.mu.Unlock()
+		})
+	}
+}
+
+// grantLocked serves queued waiters FIFO while slots suffice.
+func (a *Admitter) grantLocked() {
+	for len(a.waiters) > 0 && a.free >= a.waiters[0].need {
+		w := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		a.free -= w.need
+		close(w.ready)
+	}
+}
+
+// observeLocked pushes queue depth and busy-slot count to the hooks.
+func (a *Admitter) observeLocked() {
+	if a.onQueueDepth != nil {
+		a.onQueueDepth(int64(len(a.waiters)))
+	}
+	if a.onInFlight != nil {
+		a.onInFlight(int64(a.slots - a.free))
+	}
+}

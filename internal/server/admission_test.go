@@ -1,0 +1,206 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmitterImmediateAndRelease(t *testing.T) {
+	a := NewAdmitter(4, 2)
+	rel1, err := a.Acquire(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := a.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel1()
+	rel1() // release is idempotent
+	rel2()
+	if rel, err := a.Acquire(context.Background(), 4); err != nil {
+		t.Fatalf("full pool not reusable after release: %v", err)
+	} else {
+		rel()
+	}
+}
+
+func TestAdmitterCostClamp(t *testing.T) {
+	a := NewAdmitter(4, 0)
+	if a.Cost(0) != 1 || a.Cost(-3) != 1 {
+		t.Error("sub-slot costs must clamp to 1")
+	}
+	if a.Cost(64) != 4 {
+		t.Error("cost beyond pool must clamp to the pool size")
+	}
+	rel, err := a.Acquire(context.Background(), 64) // wants more than the pool has
+	if err != nil {
+		t.Fatalf("clamped acquire failed: %v", err)
+	}
+	rel()
+}
+
+func TestAdmitterQueueOverflow(t *testing.T) {
+	a := NewAdmitter(1, 1)
+	rel, err := a.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue…
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r, err := a.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Errorf("queued acquire failed: %v", err)
+			return
+		}
+		r()
+	}()
+	// …wait until it is actually queued.
+	for i := 0; ; i++ {
+		a.mu.Lock()
+		n := len(a.waiters)
+		a.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// …the second overflows.
+	if _, err := a.Acquire(context.Background(), 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow acquire = %v, want ErrQueueFull", err)
+	}
+	rel()
+	<-done
+}
+
+func TestAdmitterContextCancelWhileQueued(t *testing.T) {
+	a := NewAdmitter(1, 4)
+	rel, err := a.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx, 1)
+		errc <- err
+	}()
+	for i := 0; ; i++ {
+		a.mu.Lock()
+		n := len(a.waiters)
+		a.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+	rel()
+	// The cancelled waiter must not have left the pool leaked or the
+	// queue corrupted.
+	rel2, err := a.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("pool unusable after cancelled waiter: %v", err)
+	}
+	rel2()
+}
+
+// TestAdmitterFIFOWeighted pins the fairness contract: a narrow waiter
+// queued behind a wide one stays blocked while the wide one waits, even
+// when enough slots free up for the narrow one to squeeze in.
+func TestAdmitterFIFOWeighted(t *testing.T) {
+	a := NewAdmitter(4, 8)
+	relA, err := a.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relB, err := a.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enqueue := func(name string, need int) chan struct{} {
+		ch := make(chan struct{})
+		go func() {
+			defer close(ch)
+			r, err := a.Acquire(context.Background(), need)
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			r()
+		}()
+		for i := 0; ; i++ {
+			a.mu.Lock()
+			queued := false
+			for _, w := range a.waiters {
+				if w.need == need {
+					queued = true
+				}
+			}
+			a.mu.Unlock()
+			if queued {
+				return ch
+			}
+			if i > 1000 {
+				t.Fatalf("%s never queued", name)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	wide := enqueue("wide", 3)
+	narrow := enqueue("narrow", 1)
+	// Free 2 slots: not enough for wide (head of line), and narrow must
+	// NOT jump it even though one slot would suffice.
+	relA()
+	select {
+	case <-narrow:
+		t.Fatal("narrow waiter jumped the wide head-of-line waiter")
+	case <-wide:
+		t.Fatal("wide waiter granted with insufficient slots")
+	case <-time.After(50 * time.Millisecond):
+	}
+	relB()
+	<-wide
+	<-narrow
+}
+
+// TestAdmitterConcurrent hammers the pool from many goroutines; under
+// -race this pins the locking, and the final free count must equal the
+// pool size.
+func TestAdmitterConcurrent(t *testing.T) {
+	a := NewAdmitter(4, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rel, err := a.Acquire(context.Background(), 1+i%4)
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+			rel()
+		}(i)
+	}
+	wg.Wait()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.free != 4 || len(a.waiters) != 0 {
+		t.Errorf("pool state after drain: free=%d waiters=%d, want 4/0", a.free, len(a.waiters))
+	}
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+)
+
+// hashRe matches the keys ResultCache accepts: a result hash as produced
+// by experiments.ConfigKey, optionally namespaced by an endpoint prefix
+// ("advise/<hash>"). Restricting the alphabet keeps spill paths safe.
+var hashRe = regexp.MustCompile(`^(?:[a-z]+/)?[0-9a-f]{16}$`)
+
+// ResultCache is the daemon's content-addressed result store: finished
+// response bodies keyed by the canonical hash of the request
+// configuration, held in an in-memory LRU bounded by a byte budget, with
+// optional spill of evicted artifacts to disk so a restarted or
+// memory-pressured daemon can still serve known configurations without
+// re-simulating.
+type ResultCache struct {
+	budget   int64
+	spillDir string // "" disables disk spill
+
+	mu      sync.Mutex
+	bytes   int64
+	order   *list.List // front = most recent
+	entries map[string]*list.Element
+
+	// Optional observability hooks (nil-safe).
+	onHit, onMiss, onEvict func()
+	onBytes, onEntries     func(int64)
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// NewResultCache builds a cache with the given in-memory byte budget.
+// A non-empty spillDir enables disk spill of evicted entries; the
+// directory is created if missing. budget < 1 disables in-memory
+// caching (everything spills immediately if a spillDir is set).
+func NewResultCache(budget int64, spillDir string) (*ResultCache, error) {
+	if spillDir != "" {
+		if err := os.MkdirAll(spillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: result cache spill dir: %w", err)
+		}
+	}
+	return &ResultCache{
+		budget:   budget,
+		spillDir: spillDir,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}, nil
+}
+
+// Get returns the cached body for key, consulting memory first and then
+// the spill directory. A disk hit is promoted back into memory. The
+// returned slice must not be modified.
+func (c *ResultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		body := el.Value.(*cacheEntry).body
+		c.mu.Unlock()
+		if c.onHit != nil {
+			c.onHit()
+		}
+		return body, true
+	}
+	c.mu.Unlock()
+	if c.spillDir != "" && hashRe.MatchString(key) {
+		if body, err := os.ReadFile(c.spillPath(key)); err == nil {
+			c.Put(key, body) // promote
+			if c.onHit != nil {
+				c.onHit()
+			}
+			return body, true
+		}
+	}
+	if c.onMiss != nil {
+		c.onMiss()
+	}
+	return nil, false
+}
+
+// Put stores body under key, evicting least-recently-used entries until
+// the byte budget holds. Evicted entries are spilled to disk when a
+// spill directory is configured. Oversized bodies (> budget) are spilled
+// directly without entering memory.
+func (c *ResultCache) Put(key string, body []byte) {
+	if !hashRe.MatchString(key) {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok { // refresh
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		c.order.MoveToFront(el)
+		c.evictLocked()
+		c.observeLocked()
+		c.mu.Unlock()
+		return
+	}
+	if int64(len(body)) > c.budget {
+		c.mu.Unlock()
+		c.spill(key, body)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, body: body})
+	c.entries[key] = el
+	c.bytes += int64(len(body))
+	c.evictLocked()
+	c.observeLocked()
+	c.mu.Unlock()
+}
+
+// Len returns the number of in-memory entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Bytes returns the in-memory footprint.
+func (c *ResultCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// observeLocked pushes the memory footprint to the gauge hooks.
+func (c *ResultCache) observeLocked() {
+	if c.onBytes != nil {
+		c.onBytes(c.bytes)
+	}
+	if c.onEntries != nil {
+		c.onEntries(int64(c.order.Len()))
+	}
+}
+
+// evictLocked drops LRU entries until the budget holds, spilling each
+// victim to disk.
+func (c *ResultCache) evictLocked() {
+	for c.bytes > c.budget && c.order.Len() > 0 {
+		el := c.order.Back()
+		e := el.Value.(*cacheEntry)
+		c.order.Remove(el)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.body))
+		if c.onEvict != nil {
+			c.onEvict()
+		}
+		// Spill outside would be nicer, but eviction volume is tiny and
+		// holding the lock keeps promote/evict races trivially ordered.
+		c.spill(e.key, e.body)
+	}
+}
+
+// spill writes an artifact to the spill directory (atomic rename so a
+// concurrent reader never sees a torn file). No-op without a spill dir.
+func (c *ResultCache) spill(key string, body []byte) {
+	if c.spillDir == "" {
+		return
+	}
+	p := c.spillPath(key)
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, p)
+}
+
+// spillPath maps a key to its on-disk artifact. Namespaced keys
+// ("advise/<hash>") flatten to "advise-<hash>.json".
+func (c *ResultCache) spillPath(key string) string {
+	name := key
+	for i := range name {
+		if name[i] == '/' {
+			name = name[:i] + "-" + name[i+1:]
+			break
+		}
+	}
+	return filepath.Join(c.spillDir, name+".json")
+}

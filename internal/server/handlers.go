@@ -1,0 +1,605 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"paragonio/internal/analysis"
+	"paragonio/internal/apps/escat"
+	"paragonio/internal/apps/prism"
+	"paragonio/internal/cache"
+	"paragonio/internal/core"
+	"paragonio/internal/experiments"
+	"paragonio/internal/pablo"
+	"paragonio/internal/policy"
+)
+
+// SimulateRequest is the body of POST /v1/simulate and /v1/advise: one
+// what-if configuration. Zero fields mean the paper's machine.
+type SimulateRequest struct {
+	App     string `json:"app"`               // "escat" or "prism"
+	Dataset string `json:"dataset,omitempty"` // escat: "ethylene" (default) or "co"
+	Version string `json:"version"`           // escat: A A2 B1 B2 B3 B C; prism: A B C
+
+	Seed       int64 `json:"seed,omitempty"`        // workload seed (default 1)
+	IONodes    int   `json:"ionodes,omitempty"`     // I/O node count override
+	StripeUnit int64 `json:"stripe_unit,omitempty"` // PFS stripe unit override, bytes
+	Shards     int   `json:"shards,omitempty"`      // sharded-kernel lane count
+	WindowUS   int64 `json:"window_us,omitempty"`   // sync-window width, µs
+	SampleMS   int64 `json:"sample_ms,omitempty"`   // utilization sample period, ms
+
+	Tiers *TiersRequest `json:"tiers,omitempty"`
+
+	// SDDF, on /v1/simulate, streams the run's SDDF event trace as
+	// text instead of the JSON summary. SDDF responses bypass the
+	// result cache (they are bulky and cheap to regenerate from a
+	// cached config decision is deliberate) but not admission control.
+	SDDF bool `json:"sddf,omitempty"`
+}
+
+// TiersRequest selects the what-if cache hierarchy.
+type TiersRequest struct {
+	IONode *IONodeTierRequest `json:"ionode,omitempty"`
+	Client *ClientTierRequest `json:"client,omitempty"`
+}
+
+// IONodeTierRequest configures the I/O-node buffer cache tier.
+type IONodeTierRequest struct {
+	WriteBehind     bool  `json:"write_behind,omitempty"`
+	ReadAhead       int   `json:"read_ahead,omitempty"`
+	CapacityBytes   int64 `json:"capacity_bytes,omitempty"`
+	FlushDeadlineMS int64 `json:"flush_deadline_ms,omitempty"`
+}
+
+// ClientTierRequest configures the lease-coherent client cache tier.
+type ClientTierRequest struct {
+	CapacityBytes int64 `json:"capacity_bytes,omitempty"`
+	LeaseTTLMS    int64 `json:"lease_ttl_ms,omitempty"`
+}
+
+// SimulateResponse is the JSON summary of one run.
+type SimulateResponse struct {
+	Hash    string `json:"hash"`
+	Cached  bool   `json:"cached"`
+	App     string `json:"app"`
+	Dataset string `json:"dataset,omitempty"`
+	Version string `json:"version"`
+	Nodes   int    `json:"nodes"`
+
+	ExecSeconds   float64 `json:"exec_seconds"`
+	IOTimeSeconds float64 `json:"io_time_seconds"`
+	IOPercent     float64 `json:"io_percent"`
+	Events        int     `json:"events"`
+	Digest        string  `json:"digest"` // FNV-1a trace digest, %#016x
+
+	Shares  []ShareRow `json:"io_time_by_op"`
+	Phases  []PhaseRow `json:"phases"`
+	Balance Balance    `json:"ionode_balance"`
+
+	Cache   *cache.Stats       `json:"cache,omitempty"`   // I/O-node tier totals
+	Client  *cache.ClientStats `json:"client,omitempty"`  // client tier totals
+	Samples []SampleRow        `json:"samples,omitempty"` // utilization samples
+}
+
+// ShareRow is one operation's share of aggregate I/O time (Tables 2/5).
+type ShareRow struct {
+	Op           string  `json:"op"`
+	Percent      float64 `json:"percent"`
+	Count        int     `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+// PhaseRow is one application phase's I/O activity.
+type PhaseRow struct {
+	Name          string  `json:"name"`
+	StartSeconds  float64 `json:"start_seconds"`
+	EndSeconds    float64 `json:"end_seconds"`
+	Ops           int     `json:"ops"`
+	IOTimeSeconds float64 `json:"io_time_seconds"`
+	BytesRead     int64   `json:"bytes_read"`
+	BytesWritten  int64   `json:"bytes_written"`
+}
+
+// Balance summarizes load balance across I/O nodes.
+type Balance struct {
+	IONodes     int     `json:"ionodes"`
+	TotalBytes  int64   `json:"total_bytes"`
+	MaxOverMean float64 `json:"hot_spot_factor"`
+	BytesCV     float64 `json:"bytes_cv"`
+	Idle        int     `json:"idle"`
+}
+
+// SampleRow is one utilization snapshot (SampleMS > 0).
+type SampleRow struct {
+	TSeconds   float64 `json:"t_seconds"`
+	MetaQueue  int     `json:"meta_queue"`
+	TokenQueue int     `json:"token_queue"`
+	MaxIOQueue int     `json:"max_io_queue"`
+}
+
+// AdviseResponse is the body of POST /v1/advise.
+type AdviseResponse struct {
+	Hash    string `json:"hash"`
+	Cached  bool   `json:"cached"`
+	App     string `json:"app"`
+	Version string `json:"version"`
+	Advice  string `json:"advice"` // rendered advisor report
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// runFunc executes one validated request; the default builds the real
+// application run, tests substitute stubs.
+type runFunc func(ctx context.Context, req *SimulateRequest, cfg core.Config) (*core.Result, error)
+
+func defaultRun(ctx context.Context, req *SimulateRequest, cfg core.Config) (*core.Result, error) {
+	switch req.App {
+	case "escat":
+		ds, _ := escatDataset(req.Dataset)
+		v, _ := escatVersion(req.Version, req.Dataset)
+		return escat.RunOnContext(ctx, cfg, ds, v)
+	case "prism":
+		v, _ := prismVersion(req.Version)
+		return prism.RunOnContext(ctx, cfg, prism.TestProblem(), v)
+	}
+	return nil, fmt.Errorf("server: unknown app %q", req.App)
+}
+
+// validate normalizes the request and rejects anything defaultRun could
+// not execute, so handler-side validation and run-side dispatch agree.
+func (r *SimulateRequest) validate() error {
+	r.App = strings.ToLower(r.App)
+	r.Dataset = strings.ToLower(r.Dataset)
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	switch r.App {
+	case "escat":
+		if r.Dataset == "" {
+			r.Dataset = "ethylene"
+		}
+		if _, ok := escatDataset(r.Dataset); !ok {
+			return fmt.Errorf("unknown escat dataset %q (want ethylene or co)", r.Dataset)
+		}
+		if _, ok := escatVersion(r.Version, r.Dataset); !ok {
+			return fmt.Errorf("unknown escat version %q (want A, A2, B1, B2, B3, B, or C)", r.Version)
+		}
+	case "prism":
+		if r.Dataset != "" {
+			return fmt.Errorf("prism takes no dataset (got %q)", r.Dataset)
+		}
+		if _, ok := prismVersion(r.Version); !ok {
+			return fmt.Errorf("unknown prism version %q (want A, B, or C)", r.Version)
+		}
+	case "":
+		return errors.New("missing app (want escat or prism)")
+	default:
+		return fmt.Errorf("unknown app %q (want escat or prism)", r.App)
+	}
+	if r.Shards < 0 {
+		return fmt.Errorf("shards must be non-negative, got %d", r.Shards)
+	}
+	if r.IONodes < 0 || r.StripeUnit < 0 || r.WindowUS < 0 || r.SampleMS < 0 {
+		return errors.New("ionodes, stripe_unit, window_us, and sample_ms must be non-negative")
+	}
+	return nil
+}
+
+// config maps the validated request onto a core.Config.
+func (r *SimulateRequest) config() core.Config {
+	cfg := core.Config{
+		Seed:           r.Seed,
+		IONodes:        r.IONodes,
+		StripeUnit:     r.StripeUnit,
+		Shards:         r.Shards,
+		Window:         time.Duration(r.WindowUS) * time.Microsecond,
+		SampleInterval: time.Duration(r.SampleMS) * time.Millisecond,
+	}
+	if t := r.Tiers; t != nil {
+		if io := t.IONode; io != nil {
+			cfg.Tiers.IONode = &cache.Config{
+				WriteBehind:   io.WriteBehind,
+				ReadAhead:     io.ReadAhead,
+				CapacityBytes: io.CapacityBytes,
+				FlushDeadline: time.Duration(io.FlushDeadlineMS) * time.Millisecond,
+			}
+		}
+		if cl := t.Client; cl != nil {
+			cfg.Tiers.Client = &cache.ClientConfig{
+				CapacityBytes: cl.CapacityBytes,
+				LeaseTTL:      time.Duration(cl.LeaseTTLMS) * time.Millisecond,
+			}
+		}
+	}
+	return cfg
+}
+
+// identity is the run-identity string hashed into the content address.
+func (r *SimulateRequest) identity() string {
+	if r.Dataset != "" {
+		return r.App + "/" + r.Dataset + "/" + r.Version
+	}
+	return r.App + "/" + r.Version
+}
+
+func escatDataset(name string) (escat.Dataset, bool) {
+	switch name {
+	case "ethylene":
+		return escat.Ethylene(), true
+	case "co", "carbon-monoxide":
+		return escat.CarbonMonoxide(), true
+	}
+	return escat.Dataset{}, false
+}
+
+func escatVersion(id, dataset string) (escat.Version, bool) {
+	if dataset == "co" || dataset == "carbon-monoxide" {
+		if strings.EqualFold(id, "C") {
+			return escat.VersionCCarbonMonoxide(), true
+		}
+	}
+	for _, v := range escat.Progressions() {
+		if strings.EqualFold(v.ID, id) {
+			return v, true
+		}
+	}
+	switch strings.ToUpper(id) {
+	case "B":
+		return escat.VersionB(), true
+	case "C":
+		return escat.VersionC(), true
+	}
+	return escat.Version{}, false
+}
+
+func prismVersion(id string) (prism.Version, bool) {
+	for _, v := range prism.PaperVersions() {
+		if strings.EqualFold(v.ID, id) {
+			return v, true
+		}
+	}
+	return prism.Version{}, false
+}
+
+// flight is one in-flight run that identical concurrent requests join.
+// refs counts attached waiters; when the last one disconnects the run
+// is cancelled — nobody is listening for the answer.
+type flight struct {
+	done   chan struct{}
+	cancel context.CancelFunc
+	refs   int
+
+	body      []byte // response body served to waiters (cached=false)
+	cacheBody []byte // variant stored in the result cache (cached=true)
+	err       error
+}
+
+// joinFlight returns the flight for key, creating it (and starting
+// produce on a daemon-owned context) if none is running. The boolean
+// reports whether the caller is joining an existing flight.
+func (s *Server) joinFlight(key string, produce func(ctx context.Context) ([]byte, []byte, error)) (*flight, bool) {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if f, ok := s.flights[key]; ok {
+		f.refs++
+		return f, true
+	}
+	// The run context is daemon-owned, not the leader's request
+	// context: late joiners must survive the leader disconnecting.
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
+	f := &flight{done: make(chan struct{}), cancel: cancel, refs: 1}
+	s.flights[key] = f
+	go func() {
+		defer cancel()
+		f.body, f.cacheBody, f.err = produce(ctx)
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		close(f.done)
+	}()
+	return f, false
+}
+
+// leaveFlight detaches one waiter; the last one out cancels the run.
+func (s *Server) leaveFlight(f *flight) {
+	s.flightMu.Lock()
+	f.refs--
+	if f.refs == 0 {
+		f.cancel()
+	}
+	s.flightMu.Unlock()
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg := req.config()
+	key := experiments.ConfigKey(cfg, req.identity())
+
+	if req.SDDF {
+		s.streamSDDF(w, r, &req, cfg)
+		return
+	}
+	if body, ok := s.cache.Get(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	f, joined := s.joinFlight(key, func(ctx context.Context) ([]byte, []byte, error) {
+		res, err := s.admitAndRun(ctx, &req, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		resp := buildSimulateResponse(&req, key, res)
+		return marshalPair(resp, &resp.Cached)
+	})
+	if joined {
+		s.coalesced.Inc()
+	}
+	s.finishFlight(w, r, key, f)
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.SDDF {
+		writeError(w, http.StatusBadRequest, "sddf streaming is a /v1/simulate option")
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg := req.config()
+	key := "advise/" + experiments.ConfigKey(cfg, req.identity())
+
+	if body, ok := s.cache.Get(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	f, joined := s.joinFlight(key, func(ctx context.Context) ([]byte, []byte, error) {
+		res, err := s.admitAndRun(ctx, &req, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		var advice bytes.Buffer
+		if err := policy.WriteAdvice(&advice, policy.Classify(res.Trace),
+			policy.Options{}, policy.CacheOptions{}); err != nil {
+			return nil, nil, err
+		}
+		resp := &AdviseResponse{
+			Hash:    key,
+			App:     req.App,
+			Version: res.Version,
+			Advice:  advice.String(),
+		}
+		return marshalPair(resp, &resp.Cached)
+	})
+	if joined {
+		s.coalesced.Inc()
+	}
+	s.finishFlight(w, r, key, f)
+}
+
+// finishFlight waits for a flight (or the client's departure) and
+// renders its outcome.
+func (s *Server) finishFlight(w http.ResponseWriter, r *http.Request, key string, f *flight) {
+	select {
+	case <-f.done:
+	case <-r.Context().Done():
+		s.leaveFlight(f)
+		return // client gone; nothing to write
+	}
+	s.leaveFlight(f)
+	if f.err != nil {
+		s.writeRunError(w, f.err)
+		return
+	}
+	if f.cacheBody != nil {
+		s.cache.Put(key, f.cacheBody)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(f.body)
+}
+
+// writeRunError maps a failed run onto an HTTP status.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", retryAfter(s.cfg.Timeout))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout,
+			"simulation exceeded the %s run deadline", s.cfg.Timeout)
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "simulation cancelled: %v", err)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, "simulation failed: %v", err)
+	}
+}
+
+// retryAfter suggests a retry delay proportional to the run deadline,
+// clamped to [1s, 60s].
+func retryAfter(timeout time.Duration) string {
+	d := timeout / 10
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return fmt.Sprintf("%d", int(d.Seconds()))
+}
+
+// admitAndRun passes admission control and executes the run.
+func (s *Server) admitAndRun(ctx context.Context, req *SimulateRequest, cfg core.Config) (*core.Result, error) {
+	release, err := s.adm.Acquire(ctx, s.adm.Cost(cfg.Shards))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	start := time.Now()
+	res, err := s.runSim(ctx, req, cfg)
+	s.runSeconds.Observe(time.Since(start).Seconds())
+	return res, err
+}
+
+// streamSDDF runs the simulation and streams the SDDF trace as text.
+// It honors admission control but bypasses the result cache.
+func (s *Server) streamSDDF(w http.ResponseWriter, r *http.Request, req *SimulateRequest, cfg core.Config) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	res, err := s.admitAndRun(ctx, req, cfg)
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := pablo.WriteTrace(w, res.Trace); err != nil {
+		// Headers are gone; the broken body is the best signal left.
+		return
+	}
+}
+
+// marshalPair renders a response twice — once as returned to live
+// waiters (cached=false) and once as stored in the result cache
+// (cached=true) — by flipping the response's Cached field in place.
+func marshalPair(resp any, cached *bool) ([]byte, []byte, error) {
+	*cached = false
+	live, err := json.Marshal(resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	*cached = true
+	cacheBody, err := json.Marshal(resp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return live, cacheBody, nil
+}
+
+func buildSimulateResponse(req *SimulateRequest, key string, res *core.Result) *SimulateResponse {
+	resp := &SimulateResponse{
+		Hash:          key,
+		App:           req.App,
+		Dataset:       req.Dataset,
+		Version:       res.Version,
+		Nodes:         res.Nodes,
+		ExecSeconds:   res.Exec.Seconds(),
+		IOTimeSeconds: res.IOTime().Seconds(),
+		IOPercent:     res.IOPercent(),
+		Events:        res.Trace.Len(),
+		Digest:        fmt.Sprintf("%#016x", res.Trace.Digest()),
+	}
+	for _, sh := range analysis.IOTimeShares(res.Trace) {
+		resp.Shares = append(resp.Shares, ShareRow{
+			Op:           sh.Op.String(),
+			Percent:      sh.Percent,
+			Count:        sh.Count,
+			TotalSeconds: sh.Total.Seconds(),
+		})
+	}
+	for _, ph := range res.Phases {
+		sub := analysis.SliceByPhase(res.Trace, ph)
+		agg := pablo.AggregateByOp(sub)
+		resp.Phases = append(resp.Phases, PhaseRow{
+			Name:          ph.Name,
+			StartSeconds:  ph.Start.Seconds(),
+			EndSeconds:    ph.End.Seconds(),
+			Ops:           agg.TotalCount(),
+			IOTimeSeconds: agg.TotalDuration().Seconds(),
+			BytesRead:     agg.BytesRead,
+			BytesWritten:  agg.BytesWritten,
+		})
+	}
+	b := analysis.IONodeBalance(res.IONodes)
+	resp.Balance = Balance{
+		IONodes:     b.IONodes,
+		TotalBytes:  b.TotalBytes,
+		MaxOverMean: b.MaxOverMean,
+		BytesCV:     b.BytesCV,
+		Idle:        b.Idle,
+	}
+	if res.Cache != nil {
+		t := res.CacheTotals()
+		resp.Cache = &t
+	}
+	if res.Client.Nodes > 0 {
+		cl := res.Client
+		resp.Client = &cl
+	}
+	for _, smp := range res.Samples {
+		maxQ := 0
+		for _, q := range smp.IONodeQueue {
+			if q > maxQ {
+				maxQ = q
+			}
+		}
+		resp.Samples = append(resp.Samples, SampleRow{
+			TSeconds:   smp.T.Seconds(),
+			MetaQueue:  smp.MetaQueue,
+			TokenQueue: smp.TokenQueue,
+			MaxIOQueue: maxQ,
+		})
+	}
+	return resp
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	rows := []row{}
+	for _, e := range experiments.All() {
+		rows = append(rows, row{ID: e.ID, Title: e.Title})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rows)
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("hash")
+	if !hashRe.MatchString(key) {
+		writeError(w, http.StatusBadRequest,
+			"malformed result hash %q (want 16 hex digits, optionally prefixed like advise/)", key)
+		return
+	}
+	body, ok := s.cache.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for %s", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}

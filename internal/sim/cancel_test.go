@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCancelAbortsRun installs a context-backed cancellation check,
+// cancels after a few dispatched batches, and requires Run to return the
+// context error with every process unwound (their defers run, no live
+// processes left).
+func TestCancelAbortsRun(t *testing.T) {
+	k := NewKernel()
+	ctx, cancel := context.WithCancel(context.Background())
+	k.SetCancel(ctx.Err)
+
+	unwound := make([]string, 0, 3)
+	batches := 0
+	k.SetObserver(func(at Time, seq uint64, lane int) {
+		batches++
+		if batches == 10 {
+			cancel()
+		}
+	})
+	// Three processes: one ticking forever, one blocked on a mailbox that
+	// never fills, one that finishes before the cancel.
+	mb := NewMailbox(k, "never")
+	k.Spawn("ticker", func(p *Proc) {
+		defer func() { unwound = append(unwound, "ticker") }()
+		for {
+			p.Wait(time.Millisecond)
+		}
+	})
+	k.Spawn("receiver", func(p *Proc) {
+		defer func() { unwound = append(unwound, "receiver") }()
+		mb.Recv(p)
+	})
+	k.Spawn("done-early", func(p *Proc) {
+		p.Wait(time.Microsecond)
+	})
+
+	err := k.Run()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run() = %v, want context.Canceled", err)
+	}
+	if k.LiveProcs() != 0 {
+		t.Errorf("LiveProcs() = %d after abort, want 0", k.LiveProcs())
+	}
+	if len(unwound) != 2 {
+		t.Errorf("unwound defers = %v, want ticker and receiver", unwound)
+	}
+}
+
+// TestCancelBeforeRun cancels the context before Run starts: the first
+// poll aborts, and processes that never ran still unwind.
+func TestCancelBeforeRun(t *testing.T) {
+	k := NewKernel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	k.SetCancel(ctx.Err)
+	ran := false
+	k.Spawn("never-runs", func(p *Proc) { ran = true })
+	if err := k.Run(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run() = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("process body ran despite pre-cancelled context")
+	}
+	if k.LiveProcs() != 0 {
+		t.Errorf("LiveProcs() = %d, want 0", k.LiveProcs())
+	}
+}
+
+// TestCancelShardedRun aborts a sharded kernel between windows: lane
+// timers stop rescheduling and the lane-0 process parked on a wait
+// unwinds exactly like the single-threaded path.
+func TestCancelShardedRun(t *testing.T) {
+	const lookahead = 30 * time.Microsecond
+	k := NewKernel()
+	if err := k.ConfigureLanes(2, 0, lookahead); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	k.SetCancel(ctx.Err)
+	var fired atomic.Int64
+	k.SetObserver(func(at Time, seq uint64, lane int) {
+		if fired.Add(1) == 16 {
+			cancel() // observer may run on a window worker; cancel is thread-safe
+		}
+	})
+	// Flusher-shaped self-rescheduling timers, one per I/O lane, that
+	// never stop on their own.
+	for i := 0; i < 2; i++ {
+		sh := k.IOLane(i)
+		var tick func()
+		tick = func() { sh.After(7*time.Microsecond, tick) }
+		sh.After(lookahead, tick)
+	}
+	k.Spawn("waiter", func(p *Proc) {
+		for {
+			p.Wait(5 * time.Microsecond)
+		}
+	})
+	err := k.Run()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sharded Run() = %v, want context.Canceled", err)
+	}
+	if k.LiveProcs() != 0 {
+		t.Errorf("LiveProcs() = %d after sharded abort, want 0", k.LiveProcs())
+	}
+}
+
+// TestNoCancelCheckUnchanged pins that a kernel without SetCancel runs to
+// completion exactly as before (the poll is skipped entirely).
+func TestNoCancelCheckUnchanged(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	k.Spawn("worker", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Wait(time.Microsecond)
+			n++
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Errorf("worker ran %d iterations, want 100", n)
+	}
+}

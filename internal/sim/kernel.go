@@ -91,6 +91,16 @@ type Kernel struct {
 	// Scratch reused across windows and sequential instants.
 	merged []laneEvent
 	wins   []laneWin
+
+	// cancelCheck, when non-nil, is polled between dispatch batches (and
+	// between sync windows on a sharded kernel). A non-nil return aborts
+	// the run: every live process is unwound deterministically and
+	// Run/RunUntil return the error. See SetCancel.
+	cancelCheck func() error
+	// aborting is set while abort unwinds parked processes; park points
+	// observe it and panic with procAbort so process stacks (and their
+	// defers) unwind instead of blocking forever.
+	aborting bool
 }
 
 // NewKernel returns a kernel with the clock at zero and no pending events.
@@ -181,11 +191,21 @@ func (k *Kernel) spawn(d Time, name string, lane int32, body func(*Proc)) *Proc 
 	k.live++
 	k.schedule(k.now+d, p, nil)
 	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procAbort); !ok {
+					panic(r) // real failure: re-raise with the stack intact
+				}
+			}
+			p.done = true
+			k.live--
+			k.parked <- struct{}{} // final yield back to the kernel
+		}()
 		<-p.resume // wait for first dispatch
+		if k.aborting {
+			return // cancelled before the body ever ran
+		}
 		body(p)
-		p.done = true
-		k.live--
-		k.parked <- struct{}{} // final yield back to the kernel
 	}()
 	return p
 }
@@ -213,16 +233,89 @@ func (k *Kernel) deadlockError() *DeadlockError {
 	return &DeadlockError{Now: k.now, Blocked: blocked}
 }
 
+// SetCancel installs a cancellation check the run loop polls between
+// dispatch batches (between sync windows on a sharded kernel). The first
+// non-nil error aborts the run: pending events are dropped, every live
+// process is unwound in spawn order (its deferred functions run), and
+// Run/RunUntil return the error. The canonical check wraps a
+// context.Context: k.SetCancel(ctx.Err). A nil check (the default)
+// disables polling; runs that never cancel are unaffected either way —
+// the check runs between batches, never between events of one instant,
+// so it cannot perturb event order.
+func (k *Kernel) SetCancel(check func() error) {
+	k.cancelCheck = check
+}
+
+// checkCancel polls the installed cancellation check.
+func (k *Kernel) checkCancel() error {
+	if k.cancelCheck == nil {
+		return nil
+	}
+	return k.cancelCheck()
+}
+
+// procAbort is the sentinel a parked process panics with while the
+// kernel aborts; the spawn wrapper recovers it and retires the process.
+type procAbort struct{}
+
+// abort unwinds every live process after a cancelled run and returns
+// err. Parked processes are found in the blocked map (waiting on a
+// synchronization primitive) and the event queues (waiting on a pending
+// wake), then resumed one at a time in spawn order; the abort flag makes
+// each park point panic with procAbort, so the process's stack — and any
+// defers on it — unwinds and its goroutine exits before the next one is
+// woken. The kernel is not reusable afterwards.
+func (k *Kernel) abort(err error) error {
+	k.aborting = true
+	seen := make(map[*Proc]bool)
+	var parked []*Proc
+	add := func(p *Proc) {
+		if p != nil && !p.done && !seen[p] {
+			seen[p] = true
+			parked = append(parked, p)
+		}
+	}
+	for p := range k.blocked {
+		add(p)
+	}
+	for i := range k.queue.ev {
+		add(k.queue.ev[i].proc)
+	}
+	for qi := range k.laneQ {
+		for i := range k.laneQ[qi].ev {
+			add(k.laneQ[qi].ev[i].proc)
+		}
+	}
+	sort.Slice(parked, func(i, j int) bool { return parked[i].id < parked[j].id })
+	for _, p := range parked {
+		delete(k.blocked, p)
+		p.resume <- struct{}{}
+		<-k.parked
+	}
+	k.queue.ev = nil
+	for i := range k.laneQ {
+		k.laneQ[i].ev = nil
+	}
+	k.trim()
+	return err
+}
+
 // Run processes events until the queue is empty. It returns a
 // *DeadlockError if any spawned process is still blocked when the queue
-// drains, and nil otherwise.
+// drains, the cancellation error if an installed SetCancel check fired,
+// and nil otherwise.
 func (k *Kernel) Run() error {
 	if len(k.lanes) == 0 {
 		for k.queue.len() > 0 {
+			if err := k.checkCancel(); err != nil {
+				return k.abort(err)
+			}
 			k.runBatch(k.queue.min().at)
 		}
 	} else {
-		k.runSharded(0, false)
+		if err := k.runSharded(0, false); err != nil {
+			return k.abort(err)
+		}
 	}
 	k.trim()
 	if k.live > 0 {
@@ -237,6 +330,9 @@ func (k *Kernel) Run() error {
 func (k *Kernel) RunUntil(deadline Time) error {
 	if len(k.lanes) == 0 {
 		for k.queue.len() > 0 && k.queue.min().at <= deadline {
+			if err := k.checkCancel(); err != nil {
+				return k.abort(err)
+			}
 			k.runBatch(k.queue.min().at)
 		}
 		if k.queue.len() == 0 && k.live > 0 {
@@ -244,7 +340,9 @@ func (k *Kernel) RunUntil(deadline Time) error {
 		}
 		return nil
 	}
-	k.runSharded(deadline, true)
+	if err := k.runSharded(deadline, true); err != nil {
+		return k.abort(err)
+	}
 	if _, ok := k.minNext(); !ok && k.live > 0 {
 		return k.deadlockError()
 	}

@@ -62,10 +62,21 @@ func (p *Proc) Suspend(reason string) {
 // park yields control to the kernel until some event resumes this process.
 // reason, if non-empty, records why the process is blocked (for deadlock
 // diagnostics); parks with a pending wake event pass "".
+//
+// While the kernel aborts a cancelled run, park panics with procAbort
+// instead of blocking: the resume that woke the process was the abort
+// sweep, and any park reached afterwards (e.g. from a deferred close
+// running during the unwind) must not re-enter the handoff protocol.
 func (p *Proc) park(reason string) {
+	if p.k.aborting {
+		panic(procAbort{})
+	}
 	if reason != "" {
 		p.k.blocked[p] = reason
 	}
 	p.k.parked <- struct{}{}
 	<-p.resume
+	if p.k.aborting {
+		panic(procAbort{})
+	}
 }

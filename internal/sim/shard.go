@@ -558,9 +558,13 @@ func (k *Kernel) minNext() (Time, bool) {
 
 // runSharded is the sharded main loop: fence instants dispatch
 // sequentially, everything else advances window by window. When bounded,
-// events after deadline stay queued.
-func (k *Kernel) runSharded(deadline Time, bounded bool) {
+// events after deadline stay queued. A firing cancellation check stops
+// the loop between windows; the caller aborts.
+func (k *Kernel) runSharded(deadline Time, bounded bool) error {
 	for {
+		if err := k.checkCancel(); err != nil {
+			return err
+		}
 		at, ok := k.minNext()
 		if !ok || (bounded && at > deadline) {
 			break
@@ -578,6 +582,7 @@ func (k *Kernel) runSharded(deadline Time, bounded bool) {
 		}
 		k.runWindow(at, end)
 	}
+	return nil
 }
 
 // runWindow dispatches every event with timestamp in [at, end). Windows

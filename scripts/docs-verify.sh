@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# docs-verify: extract every ```sh code fence from README.md and
-# docs/ADVISOR.md and execute the commands in order, so the documented
-# quickstarts cannot rot. Commands run from the repository root in one
-# shell (later commands may read files earlier ones wrote, e.g. the
-# iosim -trace / iotrace advise pair); the first failure fails the run.
+# docs-verify: extract every ```sh code fence from README.md,
+# docs/ADVISOR.md, and docs/SERVICE.md and execute the commands in
+# order, so the documented quickstarts cannot rot. Commands run from the
+# repository root in one shell (later commands may read files earlier
+# ones wrote, e.g. the iosim -trace / iotrace advise pair); the first
+# failure fails the run. Long-running foreground examples (like the
+# iosimd daemon quickstart) use ```bash fences, which are documentation
+# only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,7 +15,7 @@ trap 'rm -f "$tmp"' EXIT
 
 {
     echo 'set -euo pipefail'
-    for doc in README.md docs/ADVISOR.md; do
+    for doc in README.md docs/ADVISOR.md docs/SERVICE.md; do
         echo "echo \"### commands from $doc\""
         awk '/^```sh$/ { f = 1; next } /^```$/ { f = 0 } f' "$doc"
     done
