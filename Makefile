@@ -19,11 +19,12 @@ vet:
 
 # Race-check the concurrent pieces: the sharded kernel (the randomized
 # sharded-vs-oracle property test and the sharded golden digests both
-# live in these packages), the parallel suite runner, and the kernel
-# primitives they drive.
+# live in these packages), the parallel suite runner, the kernel
+# primitives they drive, and the iosimd daemon (fair-share admission,
+# sweep fan-out, flight coalescing, warm-start cache).
 vet-race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/experiments/ ./internal/sim/
+	$(GO) test -race ./internal/experiments/ ./internal/sim/ ./internal/server/
 
 # Race-check the client cache tier: the lease-coherence property test
 # (randomized sharing schedules against the version oracle), the
@@ -63,8 +64,9 @@ bench-json:
 
 # Compare a fresh single-iteration benchmark pass against the newest
 # committed BENCH_<date>.json. Exits nonzero past the regression
-# threshold; -benchtime=1x samples are noisy, so CI runs this
-# non-blocking.
+# threshold; -benchtime=1x samples are noisy, so CI gates with a
+# generous -threshold 1.0 -floor 100000 (fail only when a ≥100µs
+# benchmark doubles; µs-scale 1x samples are timer noise).
 bench-diff:
 	$(GO) test -run=NONE -bench=. -benchmem -benchtime=1x ./... | $(GO) run ./cmd/benchjson -o bench-new.json
 	$(GO) run ./cmd/benchjson -diff $$(ls BENCH_*.json | sort | tail -1) bench-new.json
@@ -84,7 +86,8 @@ docs-verify:
 
 # Build the iosimd daemon, boot it on an ephemeral port, and walk the
 # service contract end to end: health, simulate (pinned to the golden
-# digest), cache-hit re-request, metrics scrape.
+# digest), cache-hit re-request, batched sweep (repeated grid dedups
+# fully), kill-and-restart warm start, metrics scrape.
 service-smoke:
 	bash scripts/service-smoke.sh
 

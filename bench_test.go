@@ -46,6 +46,9 @@ func benchArtifact(b *testing.B, id string, metrics ...string) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		// Artifacts carry only rendered text and metric maps, no trace
+		// views, so the buffers can go back to the event pool.
+		suite.Release()
 	}
 	for _, m := range metrics {
 		if v, ok := art.Measured[m]; ok {

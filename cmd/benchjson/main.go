@@ -227,7 +227,11 @@ func loadReport(path string) (*Report, error) {
 // diffReports prints the old-vs-new ns/op delta for every benchmark the
 // two reports share (plus additions and removals) and returns the names
 // that regressed beyond threshold (a fraction: 0.2 = 20% slower).
-func diffReports(w io.Writer, oldRep, newRep *Report, threshold float64) []string {
+// Benchmarks whose baseline ns/op is below floor are reported but never
+// flagged: a -benchtime=1x sample of a microsecond-scale benchmark is a
+// single timer read, and its run-to-run swing exceeds any threshold a
+// gate could hold.
+func diffReports(w io.Writer, oldRep, newRep *Report, threshold, floor float64) []string {
 	key := func(b Benchmark) string { return b.Package + "." + b.Name }
 	oldBy := make(map[string]Benchmark, len(oldRep.Benchmarks))
 	for _, b := range oldRep.Benchmarks {
@@ -249,7 +253,11 @@ func diffReports(w io.Writer, oldRep, newRep *Report, threshold float64) []strin
 		}
 		delta := nb.NsPerOp/ob.NsPerOp - 1
 		mark := ""
-		if delta > threshold {
+		if ob.NsPerOp < floor {
+			if delta > threshold {
+				mark = "  (noise floor)"
+			}
+		} else if delta > threshold {
 			mark = "  REGRESSED"
 			regressed = append(regressed, nb.Name)
 		}
@@ -278,6 +286,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated benchmark base names to keep (e.g. BenchmarkKernel,BenchmarkClientTierHit)")
 	diff := flag.Bool("diff", false, "compare two recorded reports: benchjson -diff old.json new.json")
 	threshold := flag.Float64("threshold", 0.2, "with -diff: exit nonzero when any benchmark's ns/op grew by more than this fraction")
+	floor := flag.Float64("floor", 0, "with -diff: ignore benchmarks whose baseline ns/op is below this (1x samples of micro-benchmarks are timer noise)")
 	flag.Parse()
 
 	if *diff {
@@ -295,7 +304,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		if regressed := diffReports(os.Stdout, oldRep, newRep, *threshold); len(regressed) > 0 {
+		if regressed := diffReports(os.Stdout, oldRep, newRep, *threshold, *floor); len(regressed) > 0 {
 			os.Exit(1)
 		}
 		return

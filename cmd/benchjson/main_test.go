@@ -139,7 +139,7 @@ func TestDiffReports(t *testing.T) {
 		},
 	}
 	var out bytes.Buffer
-	regressed := diffReports(&out, oldRep, newRep, 0.2)
+	regressed := diffReports(&out, oldRep, newRep, 0.2, 0)
 	if len(regressed) != 1 || regressed[0] != "BenchmarkB-8" {
 		t.Fatalf("regressed = %v, want [BenchmarkB-8]", regressed)
 	}
@@ -150,8 +150,16 @@ func TestDiffReports(t *testing.T) {
 		}
 	}
 	// A looser threshold clears the exit condition.
-	if regressed := diffReports(&bytes.Buffer{}, oldRep, newRep, 0.6); len(regressed) != 0 {
+	if regressed := diffReports(&bytes.Buffer{}, oldRep, newRep, 0.6, 0); len(regressed) != 0 {
 		t.Fatalf("threshold 0.6 still flags %v", regressed)
+	}
+	// A noise floor above the regressed benchmark's baseline mutes it.
+	var muted bytes.Buffer
+	if regressed := diffReports(&muted, oldRep, newRep, 0.2, 250); len(regressed) != 0 {
+		t.Fatalf("floor 250 still flags %v", regressed)
+	}
+	if !strings.Contains(muted.String(), "(noise floor)") {
+		t.Errorf("muted diff output missing the noise-floor mark:\n%s", muted.String())
 	}
 }
 
@@ -162,7 +170,7 @@ func TestDiffSameReportIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if regressed := diffReports(&bytes.Buffer{}, rep, rep, 0); len(regressed) != 0 {
+	if regressed := diffReports(&bytes.Buffer{}, rep, rep, 0, 0); len(regressed) != 0 {
 		t.Fatalf("self-diff flags %v", regressed)
 	}
 }

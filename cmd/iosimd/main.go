@@ -6,11 +6,11 @@
 // Usage:
 //
 //	iosimd [-addr :8080] [-timeout 5m] [-slots auto] [-queue N]
-//	       [-cache-mb 64] [-spill DIR]
+//	       [-cache-mb 64] [-spill DIR] [-sweep-points N]
 //
-// Endpoints: POST /v1/simulate, POST /v1/advise, GET /v1/experiments,
-// GET /v1/results/{hash}, GET /healthz, GET /metrics. See
-// docs/SERVICE.md for the API reference.
+// Endpoints: POST /v1/simulate, POST /v1/sweep, POST /v1/advise,
+// GET /v1/experiments, GET /v1/results/{hash}, GET /healthz,
+// GET /metrics. See docs/SERVICE.md for the API reference.
 package main
 
 import (
@@ -47,7 +47,8 @@ func run(args []string, stdout io.Writer) error {
 		slots   = fs.String("slots", "auto", "admission slot pool (auto = GOMAXPROCS)")
 		queue   = fs.Int("queue", 0, "admission queue bound (0 = 4x slots)")
 		cacheMB = fs.Int64("cache-mb", 64, "in-memory result cache budget, MB")
-		spill   = fs.String("spill", "", "spill evicted result artifacts to this directory")
+		spill   = fs.String("spill", "", "write-through result artifacts to this directory (warm-start index on boot)")
+		sweepPt = fs.Int("sweep-points", 0, "max grid points one /v1/sweep may expand to (0 = 256)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,16 +71,23 @@ func run(args []string, stdout io.Writer) error {
 	if *cacheMB < 1 {
 		return fmt.Errorf("invalid -cache-mb %d (want a positive integer)", *cacheMB)
 	}
+	if *sweepPt < 0 {
+		return fmt.Errorf("invalid -sweep-points %d (want a non-negative integer)", *sweepPt)
+	}
 
 	s, err := server.New(server.Config{
-		Timeout:    runTimeout,
-		Slots:      nslots,
-		MaxQueue:   *queue,
-		CacheBytes: *cacheMB << 20,
-		SpillDir:   *spill,
+		Timeout:        runTimeout,
+		Slots:          nslots,
+		MaxQueue:       *queue,
+		CacheBytes:     *cacheMB << 20,
+		SpillDir:       *spill,
+		MaxSweepPoints: *sweepPt,
 	})
 	if err != nil {
 		return err
+	}
+	if n := s.WarmEntries(); n > 0 {
+		fmt.Fprintf(stdout, "iosimd: warm start: %d result artifacts indexed from %s\n", n, *spill)
 	}
 
 	ln, err := net.Listen("tcp", listenAddr)

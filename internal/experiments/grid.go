@@ -1,0 +1,58 @@
+package experiments
+
+import "fmt"
+
+// Grid is a mixed-radix index over a Cartesian product of sweep axes:
+// the iosimd sweep planner declares one dimension per request axis
+// (version, seed, I/O-node count, stripe unit, cache tier …) and walks
+// the product space by flat index, decoding each index back to one
+// coordinate per axis. The last axis varies fastest — a ladder over the
+// final axis (typically the cache tier) enumerates contiguously, so
+// adjacent sweep points share their config prefix.
+type Grid struct {
+	dims []int
+}
+
+// NewGrid builds a grid over the given axis lengths. Every length must
+// be at least 1, and the product must fit an int — sweeps are planner-
+// capped far below that, so overflow means a malformed request.
+func NewGrid(dims ...int) (Grid, error) {
+	size := 1
+	for i, d := range dims {
+		if d < 1 {
+			return Grid{}, fmt.Errorf("experiments: grid axis %d has length %d", i, d)
+		}
+		if size > (1<<31)/d {
+			return Grid{}, fmt.Errorf("experiments: grid size overflows (%d axes)", len(dims))
+		}
+		size *= d
+	}
+	return Grid{dims: append([]int(nil), dims...)}, nil
+}
+
+// Axes returns the number of dimensions.
+func (g Grid) Axes() int { return len(g.dims) }
+
+// Size returns the number of points in the product space.
+func (g Grid) Size() int {
+	size := 1
+	for _, d := range g.dims {
+		size *= d
+	}
+	return size
+}
+
+// Coords decodes flat index i into one coordinate per axis, last axis
+// fastest. It panics when i is out of range — callers iterate
+// [0, Size()), so an out-of-range index is a programming error.
+func (g Grid) Coords(i int) []int {
+	if i < 0 || i >= g.Size() {
+		panic(fmt.Sprintf("experiments: grid index %d out of range [0,%d)", i, g.Size()))
+	}
+	coords := make([]int, len(g.dims))
+	for axis := len(g.dims) - 1; axis >= 0; axis-- {
+		coords[axis] = i % g.dims[axis]
+		i /= g.dims[axis]
+	}
+	return coords
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+func TestGridMixedRadix(t *testing.T) {
+	g, err := NewGrid(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 12 || g.Axes() != 3 {
+		t.Fatalf("size=%d axes=%d, want 12/3", g.Size(), g.Axes())
+	}
+	// Last axis fastest: index 0 → (0,0,0), 1 → (0,0,1), 2 → (0,1,0)…
+	want := [][]int{{0, 0, 0}, {0, 0, 1}, {0, 1, 0}, {0, 1, 1}, {1, 0, 0}}
+	for i, w := range want {
+		c := g.Coords(i)
+		if len(c) != 3 || c[0] != w[0] || c[1] != w[1] || c[2] != w[2] {
+			t.Errorf("Coords(%d) = %v, want %v", i, c, w)
+		}
+	}
+	if c := g.Coords(11); c[0] != 2 || c[1] != 1 || c[2] != 1 {
+		t.Errorf("Coords(11) = %v, want [2 1 1]", c)
+	}
+	// Every index decodes to a distinct coordinate tuple.
+	seen := make(map[[3]int]bool)
+	for i := 0; i < g.Size(); i++ {
+		c := g.Coords(i)
+		seen[[3]int{c[0], c[1], c[2]}] = true
+	}
+	if len(seen) != 12 {
+		t.Errorf("decoded %d distinct tuples, want 12", len(seen))
+	}
+}
+
+func TestGridRejectsBadAxes(t *testing.T) {
+	if _, err := NewGrid(3, 0); err == nil {
+		t.Error("zero-length axis accepted")
+	}
+	if _, err := NewGrid(-1); err == nil {
+		t.Error("negative axis accepted")
+	}
+	if _, err := NewGrid(1<<16, 1<<16); err == nil {
+		t.Error("overflowing product accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Coords did not panic")
+		}
+	}()
+	g, _ := NewGrid(2, 2)
+	g.Coords(4)
+}

@@ -26,6 +26,13 @@ import (
 // across-versions contract: the serialization carries a version tag
 // ("v1") precisely so a future field addition can revalidate spilled
 // artifacts by changing it.
+// KeyVersion tags the canonical serialization underneath ConfigKey.
+// Persistent stores that index artifacts by ConfigKey (the iosimd spill
+// directory) record this tag alongside the artifacts and revalidate it
+// on boot: a mismatch means the canonicalisation changed, so every
+// stored hash is unreachable and the store must be rebuilt.
+const KeyVersion = "v1"
+
 func ConfigKey(cfg core.Config, app string) string {
 	h := fnv.New64a()
 	h.Write([]byte(canonicalConfig(cfg, app)))
@@ -44,7 +51,8 @@ func canonicalConfig(cfg core.Config, app string) string {
 		tiers.IONode = cfg.Cache // resolve the deprecated alias
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "v1|app=%s|nodes=%d|ionodes=%d|stripe=%d|seed=%d|shards=%d|window=%d|sample=%d",
+	fmt.Fprintf(&b, "%s|app=%s|nodes=%d|ionodes=%d|stripe=%d|seed=%d|shards=%d|window=%d|sample=%d",
+		KeyVersion,
 		app, cfg.Nodes, cfg.IONodes, cfg.StripeUnit, cfg.Seed, cfg.Shards,
 		int64(cfg.Window), int64(cfg.SampleInterval))
 	if cfg.Mesh != nil {

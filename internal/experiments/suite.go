@@ -53,6 +53,24 @@ func NewSuite(seed int64) *Suite {
 	return &Suite{Seed: seed, runs: make(map[string]*runSlot)}
 }
 
+// Release hands every cached run's trace buffer back to the pablo event
+// pool and empties the run cache. Call it when the suite's results —
+// including every Events() view derived from them — are no longer
+// referenced: the buffers will be overwritten by the next recording
+// run. High-churn callers (benchmark re-runs, batch drivers creating a
+// suite per pass) use it to recycle the dominant allocation of a pass;
+// everyone else can let the GC do the work.
+func (s *Suite) Release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, slot := range s.runs {
+		if slot.res != nil && slot.res.Trace != nil {
+			slot.res.Trace.Release()
+		}
+	}
+	s.runs = make(map[string]*runSlot)
+}
+
 // cfg returns the platform configuration all suite runs share.
 func (s *Suite) cfg() core.Config {
 	return core.Config{Seed: s.Seed, Shards: s.Shards, Window: s.Window}

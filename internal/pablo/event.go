@@ -113,10 +113,54 @@ func NewTrace() *Trace { return &Trace{} }
 
 // Record implements Tracer. The stream digest is maintained
 // incrementally, so recording is O(1) amortized and Digest never
-// re-walks the trace.
+// re-walks the trace. Backing-array growth goes through the event-buffer
+// pool (see pool.go), so a Released trace's re-run recycles instead of
+// reallocating.
 func (t *Trace) Record(ev Event) {
+	if len(t.events) == cap(t.events) {
+		t.grow()
+	}
 	t.events = append(t.events, ev)
 	t.catchUp()
+}
+
+// grow doubles the backing array, recycling the old buffer when it is
+// itself pool-shaped. Below the minimum pooled size a warm pool hands
+// over a recycled buffer for free, but a cold pool means plain
+// doubling — a short run never pays an allocation the size of a
+// pool-class buffer. From the minimum pooled size up, growth goes
+// through the pool.
+func (t *Trace) grow() {
+	newCap := 2 * cap(t.events)
+	if newCap < minPooledEvents {
+		if buf := tryGetEventBuf(minPooledEvents); buf != nil {
+			t.events = append(buf, t.events...)
+			return
+		}
+		if newCap == 0 {
+			newCap = 8
+		}
+		t.events = append(make([]Event, 0, newCap), t.events...)
+		return
+	}
+	buf := getEventBuf(newCap)[:len(t.events)]
+	copy(buf, t.events)
+	putEventBuf(t.events)
+	t.events = buf
+}
+
+// Release returns the trace's backing buffer to the event pool and
+// resets the trace to empty. Call it only when every view obtained from
+// Events()/Filter-by-reference is dead: the buffer will be handed to
+// the next recording run, which overwrites it. Release is the opt-in
+// hand-back for high-churn paths (suite re-runs, the iosimd daemon);
+// traces that simply fall out of scope remain garbage-collected as
+// before.
+func (t *Trace) Release() {
+	putEventBuf(t.events)
+	t.events = nil
+	t.dig = 0
+	t.hashed = 0
 }
 
 // Len returns the number of recorded events.

@@ -1,0 +1,78 @@
+package pablo
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRecordPooledAllocs pins the zero-alloc steady state of the
+// Record/Release cycle: once the pool holds a trace's growth ladder,
+// re-recording a same-sized trace must allocate (almost) nothing — the
+// regression gate for the suite re-run hot path.
+func TestRecordPooledAllocs(t *testing.T) {
+	ev := Event{
+		Node: 3, Op: OpWrite, File: "escat.out", Offset: 512, Size: 4096,
+		Start: time.Millisecond, Duration: 250 * time.Microsecond, Mode: "writeonly",
+	}
+	const n = 4 * minPooledEvents
+	var dig uint64
+	cycle := func() {
+		tr := NewTrace()
+		for i := 0; i < n; i++ {
+			tr.Record(ev)
+		}
+		dig = tr.Digest()
+		tr.Release()
+	}
+	cycle() // warm the pool's size classes
+	want := dig
+	avg := testing.AllocsPerRun(20, cycle)
+	if dig != want {
+		t.Fatalf("digest drifted across pooled re-runs: %#x != %#x", dig, want)
+	}
+	// One allocation is the Trace itself; a small slack absorbs runtime
+	// noise. Without the pool this path allocates the full doubling
+	// ladder of event arrays (hundreds of KB in dozens of objects).
+	if avg > 4 {
+		t.Errorf("pooled record cycle allocates %.1f objects/run, want <= 4", avg)
+	}
+}
+
+// TestPoolRejectsForeignBuffers pins the safety property that keeps
+// Filter-built traces (plain append growth, arbitrary caps) out of the
+// recycler.
+func TestPoolRejectsForeignBuffers(t *testing.T) {
+	p := &sharedEventPool
+	p.mu.Lock()
+	before := p.bytes
+	p.mu.Unlock()
+
+	putEventBuf(nil)
+	putEventBuf(make([]Event, 0, minPooledEvents-1))  // undersized
+	putEventBuf(make([]Event, 0, minPooledEvents+17)) // not a power of two
+
+	p.mu.Lock()
+	after := p.bytes
+	p.mu.Unlock()
+	if after != before {
+		t.Errorf("foreign buffers entered the pool: %d -> %d bytes", before, after)
+	}
+}
+
+// TestReleaseResetsDigest pins that a released-then-reused trace hashes
+// from a clean state: the incremental digest must not leak across runs
+// through a recycled buffer.
+func TestReleaseResetsDigest(t *testing.T) {
+	ev := Event{Node: 1, Op: OpRead, File: "f", Size: 8}
+	tr := NewTrace()
+	tr.Record(ev)
+	first := tr.Digest()
+	tr.Release()
+	if tr.Len() != 0 {
+		t.Fatalf("released trace keeps %d events", tr.Len())
+	}
+	tr.Record(ev)
+	if got := tr.Digest(); got != first {
+		t.Errorf("digest after release = %#x, want %#x", got, first)
+	}
+}

@@ -62,10 +62,7 @@ func TestAdmitterQueueOverflow(t *testing.T) {
 	}()
 	// …wait until it is actually queued.
 	for i := 0; ; i++ {
-		a.mu.Lock()
-		n := len(a.waiters)
-		a.mu.Unlock()
-		if n == 1 {
+		if a.QueueLen() == 1 {
 			break
 		}
 		if i > 1000 {
@@ -94,10 +91,7 @@ func TestAdmitterContextCancelWhileQueued(t *testing.T) {
 		errc <- err
 	}()
 	for i := 0; ; i++ {
-		a.mu.Lock()
-		n := len(a.waiters)
-		a.mu.Unlock()
-		if n == 1 {
+		if a.QueueLen() == 1 {
 			break
 		}
 		if i > 1000 {
@@ -132,7 +126,7 @@ func TestAdmitterFIFOWeighted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	enqueue := func(name string, need int) chan struct{} {
+	enqueue := func(name string, need, depth int) chan struct{} {
 		ch := make(chan struct{})
 		go func() {
 			defer close(ch)
@@ -144,15 +138,7 @@ func TestAdmitterFIFOWeighted(t *testing.T) {
 			r()
 		}()
 		for i := 0; ; i++ {
-			a.mu.Lock()
-			queued := false
-			for _, w := range a.waiters {
-				if w.need == need {
-					queued = true
-				}
-			}
-			a.mu.Unlock()
-			if queued {
+			if a.QueueLen() == depth {
 				return ch
 			}
 			if i > 1000 {
@@ -161,8 +147,8 @@ func TestAdmitterFIFOWeighted(t *testing.T) {
 			time.Sleep(time.Millisecond)
 		}
 	}
-	wide := enqueue("wide", 3)
-	narrow := enqueue("narrow", 1)
+	wide := enqueue("wide", 3, 1)
+	narrow := enqueue("narrow", 1, 2)
 	// Free 2 slots: not enough for wide (head of line), and narrow must
 	// NOT jump it even though one slot would suffice.
 	relA()
@@ -198,9 +184,7 @@ func TestAdmitterConcurrent(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.free != 4 || len(a.waiters) != 0 {
-		t.Errorf("pool state after drain: free=%d waiters=%d, want 4/0", a.free, len(a.waiters))
+	if a.Free() != 4 || a.QueueLen() != 0 {
+		t.Errorf("pool state after drain: free=%d waiters=%d, want 4/0", a.Free(), a.QueueLen())
 	}
 }

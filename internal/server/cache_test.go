@@ -12,7 +12,7 @@ import (
 func key(i int) string { return fmt.Sprintf("%016x", i) }
 
 func TestResultCachePutGet(t *testing.T) {
-	c, err := NewResultCache(1<<20, "")
+	c, err := NewResultCache(1<<20, "", "v1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestResultCachePutGet(t *testing.T) {
 }
 
 func TestResultCacheRejectsBadKeys(t *testing.T) {
-	c, err := NewResultCache(1<<20, "")
+	c, err := NewResultCache(1<<20, "", "v1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestResultCacheRejectsBadKeys(t *testing.T) {
 }
 
 func TestResultCacheLRUEviction(t *testing.T) {
-	c, err := NewResultCache(100, "")
+	c, err := NewResultCache(100, "", "v1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestResultCacheLRUEviction(t *testing.T) {
 
 func TestResultCacheDiskSpill(t *testing.T) {
 	dir := t.TempDir()
-	c, err := NewResultCache(100, dir)
+	c, err := NewResultCache(100, dir, "v1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestResultCacheDiskSpill(t *testing.T) {
 	}
 
 	// Namespaced keys flatten to a safe filename.
-	c2, err := NewResultCache(1, dir)
+	c2, err := NewResultCache(1, dir, "v1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestResultCacheDiskSpill(t *testing.T) {
 }
 
 func TestResultCacheConcurrent(t *testing.T) {
-	c, err := NewResultCache(1<<12, t.TempDir())
+	c, err := NewResultCache(1<<12, t.TempDir(), "v1")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -349,12 +349,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		w.Write(body)
 		return
 	}
+	client := clientID(r)
 	f, joined := s.joinFlight(key, func(ctx context.Context) ([]byte, []byte, error) {
-		res, err := s.admitAndRun(ctx, &req, cfg)
+		res, err := s.admitAndRunAs(ctx, client, KindInteractive, &req, cfg)
 		if err != nil {
 			return nil, nil, err
 		}
 		resp := buildSimulateResponse(&req, key, res)
+		res.Trace.Release() // response built; recycle the event buffer
 		return marshalPair(resp, &resp.Cached)
 	})
 	if joined {
@@ -387,14 +389,17 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		w.Write(body)
 		return
 	}
+	client := clientID(r)
 	f, joined := s.joinFlight(key, func(ctx context.Context) ([]byte, []byte, error) {
-		res, err := s.admitAndRun(ctx, &req, cfg)
+		res, err := s.admitAndRunAs(ctx, client, KindInteractive, &req, cfg)
 		if err != nil {
 			return nil, nil, err
 		}
 		var advice bytes.Buffer
-		if err := policy.WriteAdvice(&advice, policy.Classify(res.Trace),
-			policy.Options{}, policy.CacheOptions{}); err != nil {
+		err = policy.WriteAdvice(&advice, policy.Classify(res.Trace),
+			policy.Options{}, policy.CacheOptions{})
+		res.Trace.Release() // advice rendered; recycle the event buffer
+		if err != nil {
 			return nil, nil, err
 		}
 		resp := &AdviseResponse{
@@ -461,9 +466,16 @@ func retryAfter(timeout time.Duration) string {
 	return fmt.Sprintf("%d", int(d.Seconds()))
 }
 
-// admitAndRun passes admission control and executes the run.
+// admitAndRun passes admission control as an anonymous interactive
+// client and executes the run.
 func (s *Server) admitAndRun(ctx context.Context, req *SimulateRequest, cfg core.Config) (*core.Result, error) {
-	release, err := s.adm.Acquire(ctx, s.adm.Cost(cfg.Shards))
+	return s.admitAndRunAs(ctx, "", KindInteractive, req, cfg)
+}
+
+// admitAndRunAs passes admission control under a client identity and
+// request kind (for fair-share scheduling) and executes the run.
+func (s *Server) admitAndRunAs(ctx context.Context, client, kind string, req *SimulateRequest, cfg core.Config) (*core.Result, error) {
+	release, err := s.adm.AcquireAs(ctx, client, kind, s.adm.Cost(cfg.Shards))
 	if err != nil {
 		return nil, err
 	}
@@ -485,7 +497,9 @@ func (s *Server) streamSDDF(w http.ResponseWriter, r *http.Request, req *Simulat
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if err := pablo.WriteTrace(w, res.Trace); err != nil {
+	err = pablo.WriteTrace(w, res.Trace)
+	res.Trace.Release() // trace streamed; recycle the event buffer
+	if err != nil {
 		// Headers are gone; the broken body is the best signal left.
 		return
 	}

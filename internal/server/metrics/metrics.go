@@ -110,6 +110,7 @@ func (c *Counter) write(w io.Writer) {
 // Gauge is a settable signed value.
 type Gauge struct {
 	name, help string
+	labels     string // pre-rendered constant label pairs, may be ""
 	v          atomic.Int64
 }
 
@@ -133,7 +134,7 @@ func (g *Gauge) family() string   { return g.name }
 func (g *Gauge) typeName() string { return "gauge" }
 func (g *Gauge) helpText() string { return g.help }
 func (g *Gauge) write(w io.Writer) {
-	fmt.Fprintf(w, "%s %d\n", g.name, g.v.Load())
+	fmt.Fprintf(w, "%s%s %d\n", g.name, g.labels, g.v.Load())
 }
 
 // Histogram is a fixed-bucket histogram of float64 observations
@@ -270,6 +271,64 @@ func (v *CounterVec) With(labelValues ...string) *Counter {
 		v.order = append(v.order, key)
 	}
 	return c
+}
+
+// GaugeVec is a family of gauges distinguished by label values created
+// on first use — the shape of per-class queue depths and per-kind slot
+// occupancy, whose label sets grow as new classes appear.
+type GaugeVec struct {
+	name, help string
+	labelNames []string
+
+	mu       sync.Mutex
+	children map[string]*Gauge
+	order    []string // insertion-ordered child keys for stable output
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	if len(labelNames) == 0 {
+		panic("metrics: GaugeVec needs at least one label")
+	}
+	v := &GaugeVec{name: name, help: help, labelNames: labelNames,
+		children: make(map[string]*Gauge)}
+	r.register(v)
+	return v
+}
+
+// With returns the child gauge for the given label values, creating it
+// on first use. The value count must match the registered label names.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	if len(labelValues) != len(v.labelNames) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d",
+			v.name, len(v.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[key]
+	if !ok {
+		g = &Gauge{name: v.name, help: v.help,
+			labels: labelPairs(v.labelNames, labelValues)}
+		v.children[key] = g
+		v.order = append(v.order, key)
+	}
+	return g
+}
+
+func (v *GaugeVec) family() string   { return v.name }
+func (v *GaugeVec) typeName() string { return "gauge" }
+func (v *GaugeVec) helpText() string { return v.help }
+func (v *GaugeVec) write(w io.Writer) {
+	v.mu.Lock()
+	children := make([]*Gauge, 0, len(v.order))
+	for _, k := range v.order {
+		children = append(children, v.children[k])
+	}
+	v.mu.Unlock()
+	for _, g := range children {
+		g.write(w)
+	}
 }
 
 func (v *CounterVec) family() string   { return v.name }

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"paragonio/internal/experiments"
 	"paragonio/internal/server/metrics"
 )
 
@@ -40,9 +41,13 @@ type Config struct {
 	MaxQueue int
 	// CacheBytes is the in-memory result-cache budget (default 64 MB).
 	CacheBytes int64
-	// SpillDir, when non-empty, enables disk spill of evicted result
-	// artifacts (created if missing).
+	// SpillDir, when non-empty, enables write-through disk spill of
+	// result artifacts (created if missing) and warm-start indexing of
+	// artifacts left by a previous daemon run.
 	SpillDir string
+	// MaxSweepPoints caps the expanded grid size a single /v1/sweep may
+	// declare (default 256).
+	MaxSweepPoints int
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +62,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 64 << 20
+	}
+	if c.MaxSweepPoints == 0 {
+		c.MaxSweepPoints = 256
 	}
 	return c
 }
@@ -86,12 +94,15 @@ type Server struct {
 	cacheHits   *metrics.Counter
 	cacheMisses *metrics.Counter
 	cacheEvicts *metrics.Counter
+	spillHits   *metrics.Counter
+	sweepPoints *metrics.Counter
+	sweepDedup  *metrics.CounterVec
 }
 
 // New builds a daemon from cfg.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	cache, err := NewResultCache(cfg.CacheBytes, cfg.SpillDir)
+	cache, err := NewResultCache(cfg.CacheBytes, cfg.SpillDir, experiments.KeyVersion)
 	if err != nil {
 		return nil, err
 	}
@@ -111,6 +122,10 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// WarmEntries reports how many result artifacts the warm-start scan
+// indexed from the spill directory at boot.
+func (s *Server) WarmEntries() int { return s.cache.SpilledLen() }
 
 func (s *Server) wireMetrics() {
 	r := s.reg
@@ -133,29 +148,57 @@ func (s *Server) wireMetrics() {
 		"Result-cache misses.")
 	s.cacheEvicts = r.Counter("iosimd_cache_evictions_total",
 		"Result-cache LRU evictions.")
+	s.spillHits = r.Counter("iosimd_cache_spill_hits_total",
+		"Result-cache hits served from the disk spill index.")
 	cacheBytes := r.Gauge("iosimd_cache_bytes",
 		"Result-cache in-memory footprint in bytes.")
 	cacheEntries := r.Gauge("iosimd_cache_entries",
 		"Result-cache in-memory entry count.")
+	cacheSpilled := r.Gauge("iosimd_cache_spilled_entries",
+		"Result artifacts indexed in the disk spill directory.")
 	queueDepth := r.Gauge("iosimd_queue_depth",
 		"Requests waiting in the admission queue.")
+	classDepth := r.GaugeVec("iosimd_queue_depth_class",
+		"Requests waiting in the admission queue, by slot-cost weight class.",
+		"class")
 	inFlight := r.Gauge("iosimd_inflight_slots",
 		"Admission slots currently held by running simulations.")
+	heldKind := r.GaugeVec("iosimd_slots_held",
+		"Admission slots currently held, by request kind.", "kind")
 	s.rejected = r.Counter("iosimd_rejected_total",
 		"Requests shed with 429 because the admission queue was full.")
+	s.sweepPoints = r.Counter("iosimd_sweep_points_total",
+		"Sweep grid points planned across all /v1/sweep requests.")
+	s.sweepDedup = r.CounterVec("iosimd_sweep_dedup_total",
+		"Sweep points served without a fresh engine run, by dedup source.",
+		"source")
+
+	// Pre-create the label children so the gauges read zero from boot
+	// instead of appearing on first use.
+	for _, class := range costClasses {
+		classDepth.With(class)
+	}
+	for _, kind := range []string{KindInteractive, KindSweep} {
+		heldKind.With(kind)
+	}
 
 	s.cache.onHit = s.cacheHits.Inc
 	s.cache.onMiss = s.cacheMisses.Inc
 	s.cache.onEvict = s.cacheEvicts.Inc
+	s.cache.onSpillHit = s.spillHits.Inc
 	s.cache.onBytes = cacheBytes.Set
 	s.cache.onEntries = cacheEntries.Set
+	s.cache.onSpilled = cacheSpilled.Set
 	s.adm.onQueueDepth = queueDepth.Set
+	s.adm.onClassDepth = func(class string, depth int64) { classDepth.With(class).Set(depth) }
 	s.adm.onInFlight = inFlight.Set
+	s.adm.onHeldKind = func(kind string, held int64) { heldKind.With(kind).Set(held) }
 	s.adm.onReject = s.rejected.Inc
 }
 
 func (s *Server) wireRoutes() {
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.simLatency, s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", nil, s.handleSweep))
 	s.mux.HandleFunc("POST /v1/advise", s.instrument("advise", s.advLatency, s.handleAdvise))
 	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", nil, s.handleExperiments))
 	s.mux.HandleFunc("GET /v1/results/{hash}", s.instrument("results", nil, s.handleResults))
@@ -185,6 +228,15 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 		w.code = http.StatusOK
 	}
 	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so streaming handlers (sweep
+// NDJSON, SDDF) can push partial responses through the instrumentation
+// wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with the request counter and an optional

@@ -197,10 +197,7 @@ func TestSimulateQueueOverflow(t *testing.T) {
 	<-started // slot holder is running
 	// Wait for the second request to be parked in the admission queue.
 	for i := 0; ; i++ {
-		s.adm.mu.Lock()
-		n := len(s.adm.waiters)
-		s.adm.mu.Unlock()
-		if n == 1 {
+		if s.adm.QueueLen() == 1 {
 			break
 		}
 		if i > 5000 {

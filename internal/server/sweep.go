@@ -1,0 +1,383 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"paragonio/internal/experiments"
+)
+
+// SweepRequest is the body of POST /v1/sweep: a config grid declared as
+// one list per axis. The planner expands the Cartesian product
+// (version × seed × ionodes × stripe × tier), dedupes the points by
+// content address against the result cache and every in-flight run, and
+// executes the survivors through the shared admission scheduler.
+// Results stream back as NDJSON in completion order.
+type SweepRequest struct {
+	App     string `json:"app"`               // "escat" or "prism"
+	Dataset string `json:"dataset,omitempty"` // escat only
+
+	Versions    []string `json:"versions"`               // at least one
+	Seeds       []int64  `json:"seeds,omitempty"`        // default [1]
+	IONodes     []int    `json:"ionodes,omitempty"`      // default [paper machine]
+	StripeUnits []int64  `json:"stripe_units,omitempty"` // default [paper machine]
+
+	// Tiers is the cache-hierarchy ladder: one entry per rung, null for
+	// the uncached baseline. Default is a single-null ladder.
+	Tiers []*TiersRequest `json:"tiers,omitempty"`
+
+	// Per-point scalars shared by every grid point.
+	Shards   int   `json:"shards,omitempty"`
+	WindowUS int64 `json:"window_us,omitempty"`
+	SampleMS int64 `json:"sample_ms,omitempty"`
+}
+
+// sweepPlan is the first NDJSON line: the shape of the expanded grid.
+type sweepPlan struct {
+	Plan    bool `json:"plan"`
+	Points  int  `json:"points"`  // expanded grid size
+	Unique  int  `json:"unique"`  // distinct content addresses
+	Invalid int  `json:"invalid"` // points rejected by validation
+	Slots   int  `json:"slots"`   // admission pool size
+}
+
+// sweepPointLine is one per-point NDJSON line, emitted in completion
+// order; Point is the flat grid index for client-side reordering.
+type sweepPointLine struct {
+	Point      int    `json:"point"`
+	App        string `json:"app"`
+	Dataset    string `json:"dataset,omitempty"`
+	Version    string `json:"version"`
+	Seed       int64  `json:"seed"`
+	IONodes    int    `json:"ionodes,omitempty"`
+	StripeUnit int64  `json:"stripe_unit,omitempty"`
+	Tier       int    `json:"tier"` // index into the request's tier ladder
+
+	Hash   string `json:"hash,omitempty"`
+	Status string `json:"status"`          // "ok", "error", or "invalid"
+	Dedup  string `json:"dedup,omitempty"` // "cache", "inflight", or "request"
+	Error  string `json:"error,omitempty"`
+
+	Result json.RawMessage `json:"result,omitempty"` // SimulateResponse
+}
+
+// sweepSummary is the final NDJSON line.
+type sweepSummary struct {
+	Done          bool    `json:"done"`
+	OK            int     `json:"ok"`
+	Errors        int     `json:"errors"`
+	Invalid       int     `json:"invalid"`
+	DedupCache    int     `json:"dedup_cache"`    // served from the result cache
+	DedupInflight int     `json:"dedup_inflight"` // joined someone's running flight
+	DedupRequest  int     `json:"dedup_request"`  // duplicate point within this grid
+	WallSeconds   float64 `json:"wall_seconds"`
+}
+
+// sweepPoint is one planned grid point.
+type sweepPoint struct {
+	index int
+	req   SimulateRequest
+	tier  int
+	key   string
+	err   error // validation failure, when non-nil
+}
+
+// expand walks the grid and materialises every point; invalid points
+// carry their validation error instead of a key.
+func (sr *SweepRequest) expand() ([]sweepPoint, error) {
+	if len(sr.Versions) == 0 {
+		return nil, fmt.Errorf("sweep needs at least one version")
+	}
+	seeds := sr.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{0} // validate() resolves 0 to the default seed
+	}
+	ionodes := sr.IONodes
+	if len(ionodes) == 0 {
+		ionodes = []int{0}
+	}
+	stripes := sr.StripeUnits
+	if len(stripes) == 0 {
+		stripes = []int64{0}
+	}
+	tiers := sr.Tiers
+	if len(tiers) == 0 {
+		tiers = []*TiersRequest{nil}
+	}
+	grid, err := experiments.NewGrid(len(sr.Versions), len(seeds), len(ionodes), len(stripes), len(tiers))
+	if err != nil {
+		return nil, err
+	}
+	points := make([]sweepPoint, 0, grid.Size())
+	for i := 0; i < grid.Size(); i++ {
+		c := grid.Coords(i)
+		p := sweepPoint{
+			index: i,
+			tier:  c[4],
+			req: SimulateRequest{
+				App:        sr.App,
+				Dataset:    sr.Dataset,
+				Version:    sr.Versions[c[0]],
+				Seed:       seeds[c[1]],
+				IONodes:    ionodes[c[2]],
+				StripeUnit: stripes[c[3]],
+				Shards:     sr.Shards,
+				WindowUS:   sr.WindowUS,
+				SampleMS:   sr.SampleMS,
+				Tiers:      tiers[c[4]],
+			},
+		}
+		if err := p.req.validate(); err != nil {
+			p.err = err
+		} else {
+			p.key = experiments.ConfigKey(p.req.config(), p.req.identity())
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// line renders the point's static fields into an NDJSON line skeleton.
+func (p *sweepPoint) line() sweepPointLine {
+	return sweepPointLine{
+		Point:      p.index,
+		App:        p.req.App,
+		Dataset:    p.req.Dataset,
+		Version:    p.req.Version,
+		Seed:       p.req.Seed,
+		IONodes:    p.req.IONodes,
+		StripeUnit: p.req.StripeUnit,
+		Tier:       p.tier,
+		Hash:       p.key,
+	}
+}
+
+// ndjsonWriter serialises concurrent point completions onto one
+// streaming response body, flushing after every line so clients overlap
+// analysis with execution.
+type ndjsonWriter struct {
+	mu sync.Mutex
+	w  http.ResponseWriter
+	fl http.Flusher
+}
+
+func newNDJSONWriter(w http.ResponseWriter) *ndjsonWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	fl, _ := w.(http.Flusher)
+	return &ndjsonWriter{w: w, fl: fl}
+}
+
+func (nw *ndjsonWriter) writeLine(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.w.Write(append(b, '\n'))
+	if nw.fl != nil {
+		nw.fl.Flush()
+	}
+}
+
+// sweepTally accumulates the summary counts across point workers.
+type sweepTally struct {
+	mu      sync.Mutex
+	summary sweepSummary
+}
+
+func (t *sweepTally) record(status, dedup string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch status {
+	case "ok":
+		t.summary.OK++
+	case "error":
+		t.summary.Errors++
+	case "invalid":
+		t.summary.Invalid++
+	}
+	switch dedup {
+	case "cache":
+		t.summary.DedupCache++
+	case "inflight":
+		t.summary.DedupInflight++
+	case "request":
+		t.summary.DedupRequest++
+	}
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var sr SweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sr); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	points, err := sr.expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(points) > s.cfg.MaxSweepPoints {
+		writeError(w, http.StatusBadRequest,
+			"sweep expands to %d points, over the %d-point cap", len(points), s.cfg.MaxSweepPoints)
+		return
+	}
+	s.sweepPoints.Add(uint64(len(points)))
+
+	// In-request dedup: the first point with each content address is the
+	// leader and executes; later duplicates reuse its line.
+	groups := make(map[string][]*sweepPoint)
+	var leaders []*sweepPoint
+	invalid := 0
+	for i := range points {
+		p := &points[i]
+		if p.err != nil {
+			invalid++
+			continue
+		}
+		if len(groups[p.key]) == 0 {
+			leaders = append(leaders, p)
+		}
+		groups[p.key] = append(groups[p.key], p)
+	}
+
+	start := time.Now()
+	nw := newNDJSONWriter(w)
+	tally := &sweepTally{}
+	nw.writeLine(sweepPlan{
+		Plan:    true,
+		Points:  len(points),
+		Unique:  len(leaders),
+		Invalid: invalid,
+		Slots:   s.adm.Slots(),
+	})
+	for i := range points {
+		p := &points[i]
+		if p.err == nil {
+			continue
+		}
+		line := p.line()
+		line.Status = "invalid"
+		line.Error = p.err.Error()
+		tally.record(line.Status, "")
+		nw.writeLine(line)
+	}
+
+	// Execute leaders through a launch window about twice the slot pool:
+	// wide enough to keep the admission queue fed (so slots never idle
+	// between points), narrow enough that a big grid does not park
+	// hundreds of goroutines in the scheduler at once.
+	ctx := r.Context()
+	client := clientID(r)
+	sem := make(chan struct{}, 2*s.adm.Slots())
+	var wg sync.WaitGroup
+	for _, leader := range leaders {
+		wg.Add(1)
+		go func(leader *sweepPoint) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				return // client gone; nobody reads further lines
+			}
+			s.runSweepPoint(ctx, client, nw, tally, leader, groups[leader.key])
+		}(leader)
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return
+	}
+	tally.mu.Lock()
+	summary := tally.summary
+	tally.mu.Unlock()
+	summary.Done = true
+	summary.WallSeconds = time.Since(start).Seconds()
+	nw.writeLine(summary)
+}
+
+// runSweepPoint resolves one unique grid point — result cache, then
+// in-flight coalescing, then a fresh admitted run — and emits a line
+// for the leader plus one per in-request duplicate.
+func (s *Server) runSweepPoint(ctx context.Context, client string, nw *ndjsonWriter, tally *sweepTally, leader *sweepPoint, group []*sweepPoint) {
+	emit := func(result json.RawMessage, dedup, errMsg string) {
+		for _, p := range group {
+			line := p.line()
+			line.Result = result
+			switch {
+			case errMsg != "":
+				line.Status = "error"
+				line.Error = errMsg
+			default:
+				line.Status = "ok"
+			}
+			if p != leader {
+				line.Dedup = "request"
+				s.sweepDedup.With("request").Inc()
+			} else {
+				line.Dedup = dedup
+				if dedup != "" {
+					s.sweepDedup.With(dedup).Inc()
+				}
+			}
+			tally.record(line.Status, line.Dedup)
+			nw.writeLine(line)
+		}
+	}
+
+	if body, ok := s.cache.Get(leader.key); ok {
+		emit(body, "cache", "")
+		return
+	}
+	req := leader.req
+	cfg := req.config()
+	f, joined := s.joinFlight(leader.key, func(runCtx context.Context) ([]byte, []byte, error) {
+		res, err := s.admitAndRunAs(runCtx, client, KindSweep, &req, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		resp := buildSimulateResponse(&req, leader.key, res)
+		res.Trace.Release() // response built; recycle the event buffer
+		return marshalPair(resp, &resp.Cached)
+	})
+	dedup := ""
+	if joined {
+		dedup = "inflight"
+		s.coalesced.Inc()
+	}
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		s.leaveFlight(f)
+		return
+	}
+	s.leaveFlight(f)
+	if f.err != nil {
+		emit(nil, dedup, f.err.Error())
+		return
+	}
+	if f.cacheBody != nil {
+		s.cache.Put(leader.key, f.cacheBody)
+	}
+	emit(f.body, dedup, "")
+}
+
+// clientID identifies the requester for per-client fair-share
+// scheduling: the X-Client header when set, else the peer address.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}

@@ -2,8 +2,9 @@
 # service-smoke: build iosimd, boot it on an ephemeral port, and walk
 # the daemon's contract end to end — health, a real simulate of the
 # smallest canonical run (pinned to its golden trace digest), the
-# content-addressed cache hit on the identical re-request, and a
-# metrics scrape proving the hit and both requests were counted.
+# content-addressed cache hit on the identical re-request, a batched
+# sweep whose repeated grid dedups entirely against the cache, and a
+# kill-and-restart proving the spill directory warm-starts the index.
 # The daemon is killed on exit either way.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,18 +15,25 @@ trap '[ -n "$pid" ] && kill "$pid" 2>/dev/null; rm -rf "$work"' EXIT
 
 go build -o "$work/iosimd" ./cmd/iosimd
 
-"$work/iosimd" -addr 127.0.0.1:0 >"$work/out.log" 2>&1 &
-pid=$!
+# boot LOGFILE ARGS... — start a daemon, wait for the bind line, and
+# set $pid / $base from the advertised ephemeral address.
+boot() {
+    local log=$1
+    shift
+    "$work/iosimd" -addr 127.0.0.1:0 "$@" >"$log" 2>&1 &
+    pid=$!
+    for _ in $(seq 1 100); do
+        grep -q 'listening on' "$log" && break
+        kill -0 "$pid" 2>/dev/null || { echo "service-smoke: daemon died at boot"; cat "$log"; exit 1; }
+        sleep 0.1
+    done
+    local addr
+    addr=$(sed -n 's/^iosimd: listening on //p' "$log" | head -1)
+    [ -n "$addr" ] || { echo "service-smoke: daemon never bound"; cat "$log"; exit 1; }
+    base="http://$addr"
+}
 
-# Wait for the bind line and extract the advertised address.
-for _ in $(seq 1 100); do
-    grep -q 'listening on' "$work/out.log" && break
-    kill -0 "$pid" 2>/dev/null || { echo "service-smoke: daemon died at boot"; cat "$work/out.log"; exit 1; }
-    sleep 0.1
-done
-addr=$(sed -n 's/^iosimd: listening on //p' "$work/out.log" | head -1)
-[ -n "$addr" ] || { echo "service-smoke: daemon never bound"; cat "$work/out.log"; exit 1; }
-base="http://$addr"
+boot "$work/out.log" -spill "$work/spill"
 echo "service-smoke: daemon at $base"
 
 # 1. Health.
@@ -45,6 +53,38 @@ echo "$second" | grep -q '"cached":true'
 metrics=$(curl -fsS "$base/metrics")
 echo "$metrics" | grep -q '^iosimd_cache_hits_total 1$'
 echo "$metrics" | grep -q '^iosimd_requests_total{endpoint="simulate",code="200"} 2$'
+
+# 5. Sweep a 2-point grid. The prism/C point is already cached from
+#    step 2, so one point must dedup against the result cache while
+#    prism/A runs fresh; the NDJSON stream is plan-first, done-last.
+sweep_req='{"app":"prism","versions":["A","C"]}'
+sweep1=$(curl -fsSN -X POST -H 'Content-Type: application/json' -d "$sweep_req" "$base/v1/sweep")
+echo "$sweep1" | head -1 | grep -q '"plan":true'
+echo "$sweep1" | head -1 | grep -q '"points":2'
+echo "$sweep1" | grep -q '"dedup":"cache"'
+echo "$sweep1" | tail -1 | grep -q '"done":true'
+
+# 6. The identical grid replayed: every point is a dedup hit, zero
+#    engine runs — the summary and the dedup counter both say so.
+sweep2=$(curl -fsSN -X POST -H 'Content-Type: application/json' -d "$sweep_req" "$base/v1/sweep")
+echo "$sweep2" | tail -1 | grep -q '"dedup_cache":2'
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep -q '^iosimd_sweep_dedup_total{source="cache"} 3$'
+
+# 7. Warm restart: kill the daemon, boot a fresh one on the same spill
+#    directory, and the old run is answered from disk without touching
+#    the engine.
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+boot "$work/out2.log" -spill "$work/spill"
+echo "service-smoke: restarted at $base"
+grep -q '^iosimd: warm start: 2 result artifacts indexed' "$work/out2.log"
+warm=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$req" "$base/v1/simulate")
+echo "$warm" | grep -q '"cached":true'
+echo "$warm" | grep -q '"digest":"0xbc010fbf3debceec"'
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep -q '^iosimd_cache_spill_hits_total 1$'
 
 kill "$pid"
 wait "$pid" 2>/dev/null || true
