@@ -1,7 +1,7 @@
 # paragonio — reproduction of Smirni et al., HPDC 1996.
 GO ?= go
 
-.PHONY: all build test test-short vet vet-race vet-race-clientcache vet-race-scaled fmt bench bench-smoke bench-json bench-diff tables experiments docs-verify service-smoke clean
+.PHONY: all build test test-short vet vet-race vet-race-clientcache vet-race-scaled vet-race-faults fmt bench bench-smoke bench-json bench-diff tables experiments docs-verify service-smoke clean
 
 all: build test
 
@@ -33,7 +33,16 @@ vet-race:
 vet-race-clientcache:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/cache/ ./internal/pfs/
-	$(GO) test -race -run 'ClientCache|ClientVariants|CacheAlias' ./internal/experiments/
+	$(GO) test -race -run 'ClientCache|ClientVariants' ./internal/experiments/
+
+# Race-check the fault plane: the per-kind degraded golden digests at
+# 1/4/16 shards, the empty-plan healthy-equivalence property, and the
+# pfs fault-injection behavior tests — faults arm events across the
+# sharded kernel's lanes, so they run under the race detector.
+vet-race-faults:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/faults/
+	$(GO) test -race -run Fault ./internal/pfs/ ./internal/experiments/ ./internal/server/
 
 # Race-check the window protocol on a scaled machine: a 32x32 mesh with
 # 64 I/O lanes — four times the paper topology — at auto/wide/narrow

@@ -10,6 +10,7 @@
 //	iobench -kernel compulsory-read -sweep ionodes -mode M_GLOBAL
 //	iobench -kernel checkpoint     -sweep cache   -mode M_ASYNC
 //	iobench -kernel strided-reload -sweep clientcache
+//	iobench -kernel checkpoint     -sweep faults  -mode M_ASYNC
 //	iobench -nodes 64 -volume 67108864 -request 131072
 //	iobench -shards auto           # shard each simulation across all cores
 package main
@@ -28,7 +29,7 @@ import (
 func main() {
 	var (
 		kernel  = flag.String("kernel", "", "kernel slug (empty = all)")
-		sweep   = flag.String("sweep", "modes", "sweep dimension: modes, request, ionodes, cache, clientcache, advisor, flush")
+		sweep   = flag.String("sweep", "modes", "sweep dimension: modes, request, ionodes, cache, clientcache, advisor, flush, faults")
 		mode    = flag.String("mode", "M_ASYNC", "access mode for request/ionodes sweeps")
 		nodes   = flag.Int("nodes", 32, "compute nodes")
 		request = flag.Int64("request", 128<<10, "request size (bytes)")
@@ -109,18 +110,23 @@ func run(kernel, sweep, modeName string, nodes int, request, volume, seed int64,
 			label = func(r *iobench.Result) string { return r.CacheLabel }
 		case "flush":
 			results, err = iobench.SweepFlush(base)
+		case "faults":
+			results, err = iobench.SweepFaults(base)
 		default:
 			return cliflags.Sweep(sweep,
-				[]string{"modes", "request", "ionodes", "cache", "clientcache", "advisor", "flush"})
+				[]string{"modes", "request", "ionodes", "cache", "clientcache", "advisor", "flush", "faults"})
 		}
 		if err != nil {
 			return err
 		}
 		title := fmt.Sprintf("%s: %d nodes, %d KB requests, %d MB volume (sweep: %s)",
 			k, nodes, request>>10, volume>>20, sweep)
-		if sweep == "flush" {
+		switch sweep {
+		case "flush":
 			err = iobench.WriteFlushTable(os.Stdout, title, results)
-		} else {
+		case "faults":
+			err = iobench.WriteFaultTable(os.Stdout, title, results)
+		default:
 			err = iobench.WriteTable(os.Stdout, title, results, label)
 		}
 		if err != nil {

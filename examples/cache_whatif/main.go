@@ -42,7 +42,7 @@ func main() {
 	var cached *core.Result // last cached run, for the SDDF epilogue
 	for _, v := range variants {
 		cfg := core.Config{
-			Nodes: d.Nodes, Seed: 1, Cache: v.cfg,
+			Nodes: d.Nodes, Seed: 1, Tiers: cache.Tiers{IONode: v.cfg},
 			SampleInterval: 100 * time.Second,
 		}
 		res, err := prism.RunOn(cfg, d, prism.VersionC())

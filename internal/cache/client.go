@@ -145,6 +145,7 @@ type ClientStats struct {
 	RecallRounds uint64 // writes that had to recall at least one peer
 	StaleAverted uint64 // recalled blocks actually resident at the holder: a stale read averted
 	FileRecalls  uint64 // whole-stream recalls (setiomode renegotiations)
+	Flaps        uint64 // flapping-client storms injected by the fault plane
 
 	// RecallWait is the summed time writers spent blocked on
 	// invalidation round-trips (the price of coherence).
@@ -513,6 +514,34 @@ func (t *ClientTier) RecallStream(node int, stream string) time.Duration {
 	if d > 0 {
 		t.stats.RecallWait += d
 	}
+	return d
+}
+
+// Flap simulates one flap of a crash-looping client on node: the client
+// reconnects and renegotiates every stream with any live lease, recalling
+// all valid holders tier-wide (the lease-recall storm the fault plane's
+// client-flap fault injects). Streams are recalled in sorted order so the
+// storm is deterministic. The returned duration is the summed recall cost
+// the flapping client would wait out; the fault plane discards it — the
+// storm's simulated cost is what the recalls inflict on everyone else's
+// subsequent misses.
+func (t *ClientTier) Flap(node int) time.Duration {
+	streams := make(map[string]bool)
+	for k, e := range t.dir {
+		if len(e.holders) > 0 {
+			streams[k.stream] = true
+		}
+	}
+	names := make([]string, 0, len(streams))
+	for s := range streams {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	var d time.Duration
+	for _, s := range names {
+		d += t.RecallStream(node, s)
+	}
+	t.stats.Flaps++
 	return d
 }
 

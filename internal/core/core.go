@@ -13,6 +13,7 @@ import (
 	"paragonio/internal/analysis"
 	"paragonio/internal/cache"
 	"paragonio/internal/disk"
+	"paragonio/internal/faults"
 	"paragonio/internal/mesh"
 	"paragonio/internal/pablo"
 	"paragonio/internal/pfs"
@@ -44,11 +45,12 @@ type Config struct {
 	// paper's machine had neither, so canonical runs leave it zero and
 	// stay bit-identical to the golden digests.
 	Tiers cache.Tiers
-	// Cache is the deprecated alias for Tiers.IONode, kept for one
-	// release. Setting both (to different configs) is an error.
-	//
-	// Deprecated: use Tiers.IONode.
-	Cache *cache.Config
+	// Faults is the injected fault plan (degraded RAID-3 arrays, I/O-node
+	// crashes with failover, stragglers, flapping clients; see
+	// internal/faults). Faults are scheduled DES events, so degraded runs
+	// are exactly as deterministic as healthy ones; the zero value keeps
+	// the machine healthy and the golden digests untouched.
+	Faults faults.Plan
 	// Shards, when >= 2, shards the simulation kernel into that many
 	// conservative lanes: up to one I/O lane per I/O node executing sync
 	// windows on parallel OS threads, with any surplus becoming compute
@@ -131,7 +133,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		fcfg.StripeUnit = cfg.StripeUnit
 	}
 	fcfg.Tiers = cfg.Tiers
-	fcfg.Cache = cfg.Cache // deprecated alias; pfs.New resolves and rejects conflicts
+	fcfg.Faults = cfg.Faults
 	if io, compute := LaneSplit(cfg.Shards, fcfg.IONodes, cfg.Nodes); io+compute >= 2 {
 		if la := m.MinLatency(); la > 0 {
 			if err := k.ConfigureLanes(io, compute, la); err != nil {
@@ -171,6 +173,9 @@ type Result struct {
 	// Client holds the client tier's aggregate statistics (the zero
 	// value when the tier was disabled — Client.Nodes is 0 then).
 	Client cache.ClientStats
+	// Rerouted counts requests the fault plane's failover path redirected
+	// away from a crashed I/O node (0 on a healthy run).
+	Rerouted uint64
 }
 
 // CacheTotals aggregates the per-I/O-node cache statistics (zero when
@@ -229,15 +234,16 @@ func RunContext(ctx context.Context, cfg Config, app, version string, script fun
 	}
 	p.Machine.EndPhases()
 	res := &Result{
-		App:     app,
-		Version: version,
-		Nodes:   cfg.Nodes,
-		Exec:    p.Machine.K.Now(),
-		Trace:   p.Trace,
-		Phases:  p.Machine.Phases(),
-		IONodes: p.Machine.FS.IONodeStats(),
-		Cache:   p.Machine.FS.CacheStats(),
-		Client:  p.Machine.FS.ClientStats(),
+		App:      app,
+		Version:  version,
+		Nodes:    cfg.Nodes,
+		Exec:     p.Machine.K.Now(),
+		Trace:    p.Trace,
+		Phases:   p.Machine.Phases(),
+		IONodes:  p.Machine.FS.IONodeStats(),
+		Cache:    p.Machine.FS.CacheStats(),
+		Client:   p.Machine.FS.ClientStats(),
+		Rerouted: p.Machine.FS.Rerouted(),
 	}
 	if sampler != nil {
 		res.Samples = sampler.Samples()

@@ -78,11 +78,19 @@ type Array struct {
 	lastStream string // stream tag of the previous request ("" = none)
 	lastEnd    int64  // byte offset where the previous request ended
 
+	// fault-plane state (see internal/faults): degraded marks one data
+	// drive failed, slow is a straggler service-time multiplier (1 =
+	// nominal). Both are flipped by scheduled DES events on the owning
+	// I/O node's lane.
+	degraded bool
+	slow     float64
+
 	// accumulated statistics
-	requests   uint64
-	seqHits    uint64
-	bytesMoved int64
-	busy       time.Duration
+	requests    uint64
+	seqHits     uint64
+	degradedOps uint64
+	bytesMoved  int64
+	busy        time.Duration
 }
 
 // NewArray returns an array model with the given parameters.
@@ -90,7 +98,7 @@ func NewArray(p Params) (*Array, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Array{p: p}, nil
+	return &Array{p: p, slow: 1}, nil
 }
 
 // MustNewArray is NewArray, panicking on invalid parameters.
@@ -104,6 +112,26 @@ func MustNewArray(p Params) *Array {
 
 // Params returns the array's parameters.
 func (a *Array) Params() Params { return a.p }
+
+// SetDegraded switches the array into (or out of) single-disk-failure
+// degraded mode. In RAID-3 a lost data drive is reconstructed on the fly
+// from the survivors plus parity, so the array keeps serving — but every
+// request pays an extra reconstruction pass and the aggregate transfer
+// rate drops to the surviving data drives.
+func (a *Array) SetDegraded(on bool) { a.degraded = on }
+
+// Degraded reports whether the array is in degraded mode.
+func (a *Array) Degraded() bool { return a.degraded }
+
+// SetSlow installs a straggler service-time multiplier (>= 1; 1 restores
+// nominal speed). It panics on factors below 1 — a "fast fault" would
+// break the FIFO resource's non-negative hold invariant.
+func (a *Array) SetSlow(factor float64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("disk: slow factor %g < 1", factor))
+	}
+	a.slow = factor
+}
 
 // Service returns the time to serve a request of size bytes at offset
 // within the named stream (a stream identifies one file's extent on this
@@ -121,7 +149,23 @@ func (a *Array) Service(stream string, offset, size int64) time.Duration {
 	} else {
 		d += a.p.AvgSeek + a.p.Rotation/2
 	}
-	d += time.Duration(float64(size) / a.p.ArrayBW() * float64(time.Second))
+	bw := a.p.ArrayBW()
+	if a.degraded {
+		// Degraded RAID-3: reconstruct the lost drive's bytes from the
+		// survivors plus parity. One extra controller pass per request,
+		// and the aggregate rate falls to the surviving data drives
+		// (with one data drive the parity drive stands in, so the rate
+		// holds).
+		d += a.p.Overhead
+		if a.p.DataDisks > 1 {
+			bw = a.p.DiskBW * float64(a.p.DataDisks-1)
+		}
+		a.degradedOps++
+	}
+	d += time.Duration(float64(size) / bw * float64(time.Second))
+	if a.slow > 1 {
+		d = time.Duration(float64(d) * a.slow)
+	}
 	a.lastStream = stream
 	a.lastEnd = offset + size
 	a.requests++
@@ -134,6 +178,7 @@ func (a *Array) Service(stream string, offset, size int64) time.Duration {
 type Stats struct {
 	Requests   uint64
 	SeqHits    uint64        // requests priced as sequential continuations
+	Degraded   uint64        // requests served in degraded (reconstruction) mode
 	BytesMoved int64         // total payload bytes
 	Busy       time.Duration // total service time
 }
@@ -143,17 +188,20 @@ func (a *Array) Stats() Stats {
 	return Stats{
 		Requests:   a.requests,
 		SeqHits:    a.seqHits,
+		Degraded:   a.degradedOps,
 		BytesMoved: a.bytesMoved,
 		Busy:       a.busy,
 	}
 }
 
-// Reset clears head position and statistics.
+// Reset clears head position and statistics (fault state persists —
+// repair is the fault plane's business, not the workload's).
 func (a *Array) Reset() {
 	a.lastStream = ""
 	a.lastEnd = 0
 	a.requests = 0
 	a.seqHits = 0
+	a.degradedOps = 0
 	a.bytesMoved = 0
 	a.busy = 0
 }

@@ -48,7 +48,7 @@ func cacheVariants() []cacheVariant {
 // variant — cached runs honor the -shards knob like every other run.
 func (s *Suite) cachedCfg(v cacheVariant) core.Config {
 	cfg := s.cfg()
-	cfg.Cache = v.cfg
+	cfg.Tiers.IONode = v.cfg
 	return cfg
 }
 

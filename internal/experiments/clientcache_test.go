@@ -68,35 +68,6 @@ func TestClientCacheGoldenDigests(t *testing.T) {
 	}
 }
 
-// TestCacheAliasEquivalence pins the deprecation contract: a run
-// configured through the deprecated core.Config.Cache field is
-// bit-identical to the same run configured through Tiers.IONode.
-func TestCacheAliasEquivalence(t *testing.T) {
-	ion := func() *cache.Config {
-		return &cache.Config{CapacityBytes: 32 << 20, WriteBehind: true, ReadAhead: 4}
-	}
-	viaAlias, err := prism.RunOn(core.Config{Seed: 1, Cache: ion()},
-		prism.TestProblem(), prism.VersionC())
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaTiers, err := prism.RunOn(core.Config{Seed: 1, Tiers: cache.Tiers{IONode: ion()}},
-		prism.TestProblem(), prism.VersionC())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a, b := viaAlias.Trace.Digest(), viaTiers.Trace.Digest(); a != b {
-		t.Errorf("deprecated Cache digest %#016x != Tiers.IONode digest %#016x", a, b)
-	}
-	if viaAlias.Exec != viaTiers.Exec {
-		t.Errorf("exec %v (alias) != %v (tiers)", viaAlias.Exec, viaTiers.Exec)
-	}
-	ca, cb := viaAlias.CacheTotals(), viaTiers.CacheTotals()
-	if ca != cb {
-		t.Errorf("cache totals differ: %+v (alias) vs %+v (tiers)", ca, cb)
-	}
-}
-
 // TestClientVariantsShareCanonicalRuns pins the singleflight contract:
 // the tiers-off variant of the clientcache sweep is the canonical run
 // object itself, not a re-execution.

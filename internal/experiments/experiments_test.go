@@ -38,8 +38,8 @@ func runExp(t *testing.T, id string) *Artifact {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("experiments = %d, want 18 (5 tables + 9 figures + cachewhatif + clientcache + advisor + flushpolicy)", len(all))
+	if len(all) != 19 {
+		t.Fatalf("experiments = %d, want 19 (5 tables + 9 figures + cachewhatif + clientcache + advisor + flushpolicy + faults)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -13,25 +13,25 @@ import (
 // string, e.g. "eth/C" or "escat/ethylene/C" — and every field of cfg
 // that can influence the simulated outcome, serialized in a fixed order.
 //
-// Two configurations that mean the same run hash equal: the deprecated
-// Cache alias is resolved onto Tiers.IONode before hashing, so a config
-// expressed either way gets the same key. Any semantic difference —
-// seed, shard count, window width, cache-tier parameter, machine
-// override — changes the key. The Suite keys its singleflight run cache
-// through ConfigKey (guarding against a Suite whose Seed/Shards/Window
-// are mutated after runs began serving stale entries), and the iosimd
-// daemon uses it as the content address of its persistent result cache.
+// Any semantic difference — seed, shard count, window width, cache-tier
+// parameter, fault plan, machine override — changes the key. The Suite
+// keys its singleflight run cache through ConfigKey (guarding against a
+// Suite whose Seed/Shards/Window are mutated after runs began serving
+// stale entries), and the iosimd daemon uses it as the content address
+// of its persistent result cache.
 //
 // The key is stable within one build of this repository. It is not an
 // across-versions contract: the serialization carries a version tag
-// ("v1") precisely so a future field addition can revalidate spilled
+// ("v2") precisely so a future field addition can revalidate spilled
 // artifacts by changing it.
 // KeyVersion tags the canonical serialization underneath ConfigKey.
 // Persistent stores that index artifacts by ConfigKey (the iosimd spill
 // directory) record this tag alongside the artifacts and revalidate it
 // on boot: a mismatch means the canonicalisation changed, so every
-// stored hash is unreachable and the store must be rebuilt.
-const KeyVersion = "v1"
+// stored hash is unreachable and the store must be rebuilt. "v2"
+// retired the deprecated Cache alias and added the faults plan to the
+// serialization.
+const KeyVersion = "v2"
 
 func ConfigKey(cfg core.Config, app string) string {
 	h := fnv.New64a()
@@ -47,9 +47,6 @@ func ConfigKey(cfg core.Config, app string) string {
 // mapping from semantics to string).
 func canonicalConfig(cfg core.Config, app string) string {
 	tiers := cfg.Tiers
-	if cfg.Cache != nil && tiers.IONode == nil {
-		tiers.IONode = cfg.Cache // resolve the deprecated alias
-	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s|app=%s|nodes=%d|ionodes=%d|stripe=%d|seed=%d|shards=%d|window=%d|sample=%d",
 		KeyVersion,
@@ -69,6 +66,12 @@ func canonicalConfig(cfg core.Config, app string) string {
 	}
 	if tiers.Client != nil {
 		fmt.Fprintf(&b, "|client=%+v", *tiers.Client)
+	}
+	if !cfg.Faults.Empty() {
+		// faults.Plan.String is the plan's own canonical rendering
+		// (fixed field order per kind), so two plans hash equal exactly
+		// when they inject the same faults in the same order.
+		fmt.Fprintf(&b, "|faults=%s", cfg.Faults.String())
 	}
 	return b.String()
 }

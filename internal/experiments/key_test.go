@@ -8,29 +8,30 @@ import (
 	"paragonio/internal/cache"
 	"paragonio/internal/core"
 	"paragonio/internal/disk"
+	"paragonio/internal/faults"
 	"paragonio/internal/mesh"
 )
 
 // TestConfigKeySemanticEquality pins that configurations meaning the
-// same run hash equal: literally identical configs, and the deprecated
-// Cache alias against its Tiers.IONode spelling.
+// same run hash equal: literally identical configs, and equal-valued
+// configs behind distinct pointers.
 func TestConfigKeySemanticEquality(t *testing.T) {
 	base := core.Config{Seed: 1, Shards: 4, Window: 7 * time.Microsecond}
 	if ConfigKey(base, "eth/C") != ConfigKey(base, "eth/C") {
 		t.Fatal("identical configs hash differently")
 	}
-	cc := &cache.Config{WriteBehind: true, ReadAhead: 4, CapacityBytes: 32 << 20}
-	viaTiers := base
-	viaTiers.Tiers.IONode = cc
-	viaAlias := base
-	viaAlias.Cache = cc
-	if ConfigKey(viaTiers, "eth/C") != ConfigKey(viaAlias, "eth/C") {
-		t.Error("Tiers.IONode and the deprecated Cache alias hash differently for the same cache config")
-	}
-	// Distinct pointers to equal-valued configs are also the same run.
-	viaAlias.Cache = &cache.Config{WriteBehind: true, ReadAhead: 4, CapacityBytes: 32 << 20}
-	if ConfigKey(viaTiers, "eth/C") != ConfigKey(viaAlias, "eth/C") {
+	// Distinct pointers to equal-valued configs are the same run.
+	a, b := base, base
+	a.Tiers.IONode = &cache.Config{WriteBehind: true, ReadAhead: 4, CapacityBytes: 32 << 20}
+	b.Tiers.IONode = &cache.Config{WriteBehind: true, ReadAhead: 4, CapacityBytes: 32 << 20}
+	if ConfigKey(a, "eth/C") != ConfigKey(b, "eth/C") {
 		t.Error("equal-valued cache configs behind distinct pointers hash differently")
+	}
+	// An empty fault plan is the healthy machine: no serialization tail.
+	c := base
+	c.Faults = faults.Plan{Faults: []faults.Fault{}}
+	if ConfigKey(base, "eth/C") != ConfigKey(c, "eth/C") {
+		t.Error("empty (non-nil) fault plan hashes differently from the healthy machine")
 	}
 }
 
@@ -60,6 +61,22 @@ func TestConfigKeyFieldSensitivity(t *testing.T) {
 		{"client-tier", core.Config{Seed: 1, Tiers: cache.Tiers{Client: &cache.ClientConfig{}}}, "eth/C"},
 		{"client-cap", core.Config{Seed: 1, Tiers: cache.Tiers{Client: &cache.ClientConfig{CapacityBytes: 8 << 20}}}, "eth/C"},
 		{"client-ttl", core.Config{Seed: 1, Tiers: cache.Tiers{Client: &cache.ClientConfig{LeaseTTL: 10 * time.Minute}}}, "eth/C"},
+		{"fault-disk", core.Config{Seed: 1, Faults: faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.DiskFail, At: time.Second, IONode: 0}}}}, "eth/C"},
+		{"fault-disk-io1", core.Config{Seed: 1, Faults: faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.DiskFail, At: time.Second, IONode: 1}}}}, "eth/C"},
+		{"fault-disk-later", core.Config{Seed: 1, Faults: faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.DiskFail, At: 2 * time.Second, IONode: 0}}}}, "eth/C"},
+		{"fault-disk-repair", core.Config{Seed: 1, Faults: faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.DiskFail, At: time.Second, Until: 3 * time.Second, IONode: 0}}}}, "eth/C"},
+		{"fault-crash", core.Config{Seed: 1, Faults: faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.NodeCrash, At: time.Second, IONode: 0}}}}, "eth/C"},
+		{"fault-straggler", core.Config{Seed: 1, Faults: faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.Straggler, At: time.Second, IONode: 0, Factor: 4}}}}, "eth/C"},
+		{"fault-straggler-x8", core.Config{Seed: 1, Faults: faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.Straggler, At: time.Second, IONode: 0, Factor: 8}}}}, "eth/C"},
+		{"fault-flap", core.Config{Seed: 1, Faults: faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.ClientFlap, At: time.Second, Node: 1, Count: 3, Period: time.Second}}}}, "eth/C"},
 		{"app", base, "prism/C"},
 	}
 	hexKey := regexp.MustCompile(`^[0-9a-f]{16}$`)

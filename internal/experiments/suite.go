@@ -226,6 +226,7 @@ func All() []Experiment {
 		{ID: "clientcache", Title: "What-if: client cache tier with lease coherence", Run: clientCache},
 		{ID: "advisor", Title: "Closed loop: advised cache tiers vs oracle-best sweeps", Run: advisorExp},
 		{ID: "flushpolicy", Title: "Flush-policy study: high-water + idle vs deadline write-behind", Run: flushPolicy},
+		{ID: "faults", Title: "Fault study: checkpoint workloads on a degraded machine", Run: faultsExp},
 	}
 }
 

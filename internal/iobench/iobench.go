@@ -19,6 +19,7 @@ import (
 
 	"paragonio/internal/cache"
 	"paragonio/internal/core"
+	"paragonio/internal/faults"
 	"paragonio/internal/pablo"
 	"paragonio/internal/pfs"
 	"paragonio/internal/stats"
@@ -93,11 +94,9 @@ type Params struct {
 	// Tiers.IONode the per-I/O-node buffer cache, Tiers.Client the
 	// lease-coherent per-compute-node cache.
 	Tiers cache.Tiers
-	// Cache is the deprecated alias for Tiers.IONode, kept for one
-	// release. Setting both to different configs is an error.
-	//
-	// Deprecated: use Tiers.IONode.
-	Cache *cache.Config
+	// Faults is the injected fault plan (see internal/faults); the zero
+	// value runs the healthy machine.
+	Faults faults.Plan
 	// Shards, when >= 2, runs the simulation on a sharded kernel
 	// (core.Config.Shards); results are bit-identical for every value.
 	Shards int
@@ -130,12 +129,6 @@ func (p Params) withDefaults() (Params, error) {
 	if p.Seed == 0 {
 		p.Seed = 1
 	}
-	if p.Cache != nil {
-		if p.Tiers.IONode != nil && p.Tiers.IONode != p.Cache {
-			return p, fmt.Errorf("iobench: both Params.Tiers.IONode and the deprecated Params.Cache are set; use Tiers")
-		}
-		p.Tiers.IONode = p.Cache
-	}
 	return p, nil
 }
 
@@ -150,13 +143,21 @@ type Result struct {
 	// P50Op and P95Op are data-operation duration percentiles
 	// (queueing included).
 	P50Op, P95Op time.Duration
-	// CacheLabel names the cache rung for SweepCache results ("" for
+	// CacheLabel names the ladder rung for configuration sweeps —
+	// SweepCache, SweepClientCache, SweepFlush, SweepFaults — ("" for
 	// other sweeps).
 	CacheLabel string
 	// Cache aggregates the I/O-node cache tier's counters across all
 	// I/O nodes (zero value when the tier is off) — the flush-policy
 	// sweep reads stall and flush counts from here.
 	Cache cache.Stats
+	// Fault-plane counters (all zero on a healthy run): Degraded is
+	// array requests served in RAID-3 reconstruction mode, Rerouted is
+	// requests redirected away from a crashed I/O node, Recalls is
+	// lease recalls delivered (a flapping client inflates it).
+	Degraded uint64
+	Rerouted uint64
+	Recalls  uint64
 
 	// trace is the run's event trace, kept for the advisor sweep
 	// (classification needs the events, not just the counts).
@@ -201,6 +202,7 @@ func RunContext(ctx context.Context, p Params) (*Result, error) {
 		IONodes:    p.IONodes,
 		StripeUnit: p.StripeUnit,
 		Tiers:      p.Tiers,
+		Faults:     p.Faults,
 		Shards:     p.Shards,
 	}
 	res, err := core.RunContext(ctx, cfg, "iobench", p.Kernel.String(),
@@ -211,7 +213,11 @@ func RunContext(ctx context.Context, p Params) (*Result, error) {
 		return nil, err
 	}
 	out := &Result{Params: p, Wall: res.Exec, TraceLen: res.Trace.Len(),
-		Cache: res.CacheTotals(), trace: res.Trace}
+		Cache: res.CacheTotals(), trace: res.Trace,
+		Rerouted: res.Rerouted, Recalls: res.Client.Recalls}
+	for _, ds := range res.IONodes {
+		out.Degraded += ds.Degraded
+	}
 	var durs []float64
 	for _, ev := range res.Trace.Events() {
 		switch ev.Op {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"paragonio/internal/cache"
+	"paragonio/internal/faults"
 	"paragonio/internal/pfs"
 	"paragonio/internal/policy"
 	"paragonio/internal/report"
@@ -123,7 +124,7 @@ func SweepCache(base Params) ([]*Result, error) {
 	params := make([]Params, len(ladder))
 	for i, c := range ladder {
 		params[i] = base
-		params[i].Cache = c.Cfg
+		params[i].Tiers.IONode = c.Cfg
 	}
 	results, err := runSweep(params, func(i int, err error) error {
 		return fmt.Errorf("%s cache=%s: %w", base.Kernel, ladder[i].Label, err)
@@ -225,7 +226,6 @@ func SweepFlush(base Params) ([]*Result, error) {
 	params := make([]Params, len(ladder))
 	for i, c := range ladder {
 		params[i] = base
-		params[i].Cache = nil
 		params[i].Tiers = cache.Tiers{IONode: c.Cfg}
 	}
 	results, err := runSweep(params, func(i int, err error) error {
@@ -240,6 +240,84 @@ func SweepFlush(base Params) ([]*Result, error) {
 	return results, nil
 }
 
+// FaultConfigs returns the degraded-mode ladder for SweepFaults: the
+// healthy machine, then each fault kind injected alone. The client-flap
+// rungs carry the lease-coherent client tier (the fault needs leases to
+// storm), so they get their own healthy baseline for an apples-to-apples
+// comparison. Injection times sit early in the run so most of the
+// workload executes degraded.
+func FaultConfigs() []struct {
+	Label  string
+	Plan   faults.Plan
+	Client bool
+} {
+	at := 250 * time.Millisecond
+	return []struct {
+		Label  string
+		Plan   faults.Plan
+		Client bool
+	}{
+		{"healthy", faults.Plan{}, false},
+		{"disk-fail", faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.DiskFail, At: at, IONode: 0}}}, false},
+		{"node-crash", faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.NodeCrash, At: at, IONode: 0}}}, false},
+		{"straggler x4", faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.Straggler, At: at, IONode: 0, Factor: 4}}}, false},
+		{"client healthy", faults.Plan{}, true},
+		{"client-flap x5", faults.Plan{Faults: []faults.Fault{
+			{Kind: faults.ClientFlap, At: at, Node: 1, Count: 5, Period: 500 * time.Millisecond}}}, true},
+	}
+}
+
+// SweepFaults runs one kernel/mode across the fault ladder. The base
+// params' own Faults and Tiers.Client are overridden per rung.
+func SweepFaults(base Params) ([]*Result, error) {
+	ladder := FaultConfigs()
+	params := make([]Params, len(ladder))
+	for i, c := range ladder {
+		params[i] = base
+		params[i].Faults = c.Plan
+		if c.Client {
+			params[i].Tiers.Client = &cache.ClientConfig{
+				CapacityBytes: 8 << 20, LeaseTTL: 10 * time.Minute}
+		} else {
+			params[i].Tiers.Client = nil
+		}
+	}
+	results, err := runSweep(params, func(i int, err error) error {
+		return fmt.Errorf("%s fault=%s: %w", base.Kernel, ladder[i].Label, err)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		r.CacheLabel = ladder[i].Label
+	}
+	return results, nil
+}
+
+// WriteFaultTable renders fault-sweep results with the degraded-mode
+// counters WriteTable omits: reconstruction-mode array requests,
+// failover reroutes, and lease recalls delivered.
+func WriteFaultTable(w io.Writer, title string, results []*Result) error {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.CacheLabel,
+			fmt.Sprintf("%.3f", r.Wall.Seconds()),
+			fmt.Sprintf("%.2f", r.BandwidthMBs()),
+			fmt.Sprintf("%.2f", r.P95Op.Seconds()*1000),
+			fmt.Sprintf("%d", r.Degraded),
+			fmt.Sprintf("%d", r.Rerouted),
+			fmt.Sprintf("%d", r.Recalls),
+		})
+	}
+	return report.Table(w, title,
+		[]string{"config", "wall (s)", "MB/s", "p95 (ms)",
+			"degraded", "rerouted", "recalls"}, rows)
+}
+
 // SweepAdvisor closes the advisor loop on one kernel: run it bare,
 // classify the trace (policy.Classify), derive a cache configuration
 // (policy.AdviseTiers), and re-run under the advised tiers. Two rows
@@ -247,7 +325,6 @@ func SweepFlush(base Params) ([]*Result, error) {
 // advised cache.Tiers.
 func SweepAdvisor(base Params) ([]*Result, error) {
 	bare := base
-	bare.Cache = nil
 	bare.Tiers = cache.Tiers{}
 	baseRes, err := Run(bare)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"paragonio/internal/cache"
 	"paragonio/internal/disk"
+	"paragonio/internal/faults"
 	"paragonio/internal/mesh"
 	"paragonio/internal/pablo"
 	"paragonio/internal/sim"
@@ -31,11 +32,10 @@ type Config struct {
 	// neither, so all canonical paper runs leave them off. Zero fields
 	// are defaulted at New; see cache.Tiers.WithDefaults.
 	Tiers cache.Tiers
-	// Cache is the deprecated alias for Tiers.IONode, kept for one
-	// release. Setting both (to different configs) is an error.
-	//
-	// Deprecated: use Tiers.IONode.
-	Cache *cache.Config
+	// Faults is the injected fault plan: degraded arrays, node crashes,
+	// stragglers, flapping clients, armed as scheduled DES events before
+	// the run starts. The zero value is the healthy machine.
+	Faults faults.Plan
 }
 
 // DefaultConfig returns the paper's machine: 16 I/O nodes, 64 KB stripe
@@ -99,6 +99,16 @@ type FileSystem struct {
 	client *cache.ClientTier // nil when the client tier is disabled
 	files  map[string]*file
 	tracer pablo.Tracer
+
+	// Fault-plane routing state, owned by the sequential plane (request
+	// issue and mesh pricing both happen in process context, never on an
+	// I/O lane). dead marks crashed I/O nodes; routeTo walks the ring to
+	// the next survivor. meshSlow multiplies mesh transfers addressed to
+	// a straggler node (>= 1, so cross-LP delays stay >= the lookahead).
+	// Both are mutated only by lane-0 fault events.
+	dead     []bool
+	meshSlow []float64
+	rerouted uint64 // requests redirected away from a crashed node
 }
 
 // New creates a file system on the given kernel. tracer receives one
@@ -128,20 +138,14 @@ func New(k *sim.Kernel, cfg Config, tracer pablo.Tracer) (*FileSystem, error) {
 	if cfg.BufSize < 0 {
 		return nil, fmt.Errorf("pfs: negative buffer size %d", cfg.BufSize)
 	}
-	if cfg.Cache != nil {
-		if cfg.Tiers.IONode != nil && cfg.Tiers.IONode != cfg.Cache {
-			return nil, fmt.Errorf("pfs: both Config.Tiers.IONode and the deprecated Config.Cache are set; use Tiers")
-		}
-		cfg.Tiers.IONode = cfg.Cache
+	if err := cfg.Faults.Validate(cfg.IONodes); err != nil {
+		return nil, err
 	}
 	tiers, err := cfg.Tiers.WithDefaults(cfg.StripeUnit, cfg.Disk)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Tiers = tiers
-	// Keep the deprecated alias pointing at the resolved tier so old
-	// readers of Config().Cache keep seeing the effective config.
-	cfg.Cache = tiers.IONode
 	if tracer == nil {
 		tracer = pablo.Discard
 	}
@@ -177,8 +181,98 @@ func New(k *sim.Kernel, cfg Config, tracer pablo.Tracer) (*FileSystem, error) {
 		}
 		fs.client = ct
 	}
+	fs.dead = make([]bool, cfg.IONodes)
+	fs.meshSlow = make([]float64, cfg.IONodes)
+	for i := range fs.meshSlow {
+		fs.meshSlow[i] = 1
+	}
+	if err := fs.armFaults(); err != nil {
+		return nil, err
+	}
 	return fs, nil
 }
+
+// armFaults turns the configured fault plan into scheduled kernel events.
+// It runs before any workload process is spawned and walks the plan in
+// order, so the events' sequence numbers are allocated identically at
+// every shard count. Lane ownership decides where each event is armed:
+// array state (degraded mode, disk slow factor) is flipped by events on
+// the owning I/O node's lane; routing tables, mesh multipliers, and
+// client-tier recalls are flipped by lane-0 events, because they are read
+// in process context on the sequential plane. Fault events mutate state
+// only — they emit no trace events — so an empty plan leaves the event
+// stream, and hence the golden digest, bit-identical to a healthy run.
+func (fs *FileSystem) armFaults() error {
+	for _, f := range fs.cfg.Faults.Faults {
+		f := f
+		switch f.Kind {
+		case faults.DiskFail:
+			n := fs.ios[f.IONode]
+			n.sh.After(sim.Time(f.At), func() { n.array.SetDegraded(true) })
+			if f.Until != 0 {
+				n.sh.After(sim.Time(f.Until), func() { n.array.SetDegraded(false) })
+			}
+		case faults.NodeCrash:
+			io := f.IONode
+			fs.k.After(sim.Time(f.At), func() { fs.dead[io] = true })
+			if f.Until != 0 {
+				fs.k.After(sim.Time(f.Until), func() { fs.dead[io] = false })
+			}
+		case faults.Straggler:
+			n := fs.ios[f.IONode]
+			io, factor := f.IONode, f.Factor
+			n.sh.After(sim.Time(f.At), func() { n.array.SetSlow(factor) })
+			fs.k.After(sim.Time(f.At), func() { fs.meshSlow[io] = factor })
+			if f.Until != 0 {
+				n.sh.After(sim.Time(f.Until), func() { n.array.SetSlow(1) })
+				fs.k.After(sim.Time(f.Until), func() { fs.meshSlow[io] = 1 })
+			}
+		case faults.ClientFlap:
+			if fs.client == nil {
+				return fmt.Errorf("pfs: client-flap fault requires the client cache tier (Tiers.Client)")
+			}
+			node := f.Node
+			for j := 0; j < f.FlapCount(); j++ {
+				fs.k.After(sim.Time(f.At)+sim.Time(j)*sim.Time(f.Period), func() { fs.client.Flap(node) })
+			}
+		}
+	}
+	return nil
+}
+
+// routeTo resolves a logical I/O node to the physical node serving its
+// stripes right now: the node itself while alive, else the next survivor
+// clockwise on the ring (the failover protocol). Plan validation
+// guarantees a survivor exists. Called in process context only.
+func (fs *FileSystem) routeTo(io int) int {
+	if !fs.dead[io] {
+		return io
+	}
+	fs.rerouted++
+	for d := 1; d < len(fs.ios); d++ {
+		t := (io + d) % len(fs.ios)
+		if !fs.dead[t] {
+			return t
+		}
+	}
+	panic("pfs: no surviving I/O node (plan validation should prevent this)")
+}
+
+// meshCost prices the payload transfer from a compute node to a physical
+// I/O node, stretched by the straggler multiplier when one is active.
+// Factors are >= 1, so the stretched delay still satisfies the window
+// protocol's cross-LP lookahead bound. Called in process context only.
+func (fs *FileSystem) meshCost(node, io int, bytes int64) time.Duration {
+	d := fs.cfg.Mesh.TransferToIONode(node, io, bytes)
+	if s := fs.meshSlow[io]; s > 1 {
+		d = time.Duration(float64(d) * s)
+	}
+	return d
+}
+
+// Rerouted returns how many requests the failover path redirected away
+// from a crashed I/O node.
+func (fs *FileSystem) Rerouted() uint64 { return fs.rerouted }
 
 // Config returns the file system's configuration.
 func (fs *FileSystem) Config() Config { return fs.cfg }
@@ -403,8 +497,9 @@ func (fs *FileSystem) serveIONode(p *sim.Proc, node int, f *file, io int, chunks
 	for _, c := range chunks {
 		bytes += c.size
 	}
+	io = fs.routeTo(io)
 	n := fs.ios[io]
-	n.sh.After(fs.cfg.Mesh.TransferToIONode(node, io, bytes), func() {
+	n.sh.After(fs.meshCost(node, io, bytes), func() {
 		n.res.UseFn(func() sim.Time {
 			var d time.Duration
 			for _, c := range chunks {
@@ -439,10 +534,11 @@ func (fs *FileSystem) serveIONodeFn(node int, f *file, io int, chunks []chunk, w
 	for _, c := range chunks {
 		bytes += c.size
 	}
+	io = fs.routeTo(io)
 	n := fs.ios[io]
 	then = n.sh.Deferred(then)
 	fs.k.ComputeLane(node).After(0, func() {
-		n.sh.After(fs.cfg.Mesh.TransferToIONode(node, io, bytes), func() {
+		n.sh.After(fs.meshCost(node, io, bytes), func() {
 			n.res.UseFn(func() sim.Time {
 				var d time.Duration
 				for _, c := range chunks {

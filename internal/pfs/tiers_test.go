@@ -1,7 +1,6 @@
 package pfs
 
 import (
-	"strings"
 	"testing"
 
 	"paragonio/internal/cache"
@@ -10,48 +9,34 @@ import (
 	"paragonio/internal/sim"
 )
 
-// TestDeprecatedCacheAlias pins the one-release deprecation contract of
-// Config.Cache: alone it behaves exactly like Tiers.IONode, resolved
-// configs stay visible through both fields, and setting the two to
-// different values is a configuration error rather than a silent pick.
-func TestDeprecatedCacheAlias(t *testing.T) {
-	newFS := func(cfg Config) (*FileSystem, error) {
-		return New(sim.NewKernel(), cfg, pablo.NewTrace())
-	}
-
-	// Deprecated field alone: resolved into Tiers.IONode, and readers of
-	// either field see the same effective (defaulted) config.
+// TestTiersConfig pins the cache.Tiers configuration path: Tiers.IONode
+// enables the buffer cache, zero fields are defaulted at New, and the
+// resolved config is visible through Config().
+func TestTiersConfig(t *testing.T) {
 	cfg := DefaultConfig(mesh.MustNew(mesh.DefaultConfig()))
-	cfg.Cache = &cache.Config{WriteBehind: true}
-	fs, err := newFS(cfg)
+	cfg.Tiers.IONode = &cache.Config{WriteBehind: true}
+	fs, err := New(sim.NewKernel(), cfg, pablo.NewTrace())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !fs.Caching() {
-		t.Error("deprecated Cache field did not enable the I/O-node tier")
+		t.Error("Tiers.IONode did not enable the I/O-node tier")
 	}
 	got := fs.Config()
-	if got.Tiers.IONode == nil || got.Cache != got.Tiers.IONode {
-		t.Errorf("alias not resolved: Cache=%p Tiers.IONode=%p", got.Cache, got.Tiers.IONode)
+	if got.Tiers.IONode == nil {
+		t.Fatal("resolved Tiers.IONode not visible through Config()")
 	}
 	if got.Tiers.IONode.BlockSize == 0 {
 		t.Error("resolved config not defaulted")
 	}
 
-	// Same pointer in both fields is fine (callers migrating piecemeal).
+	// Tiers off: no cache, and CacheStats reports nil.
 	cfg = DefaultConfig(mesh.MustNew(mesh.DefaultConfig()))
-	c := &cache.Config{WriteBehind: true}
-	cfg.Cache = c
-	cfg.Tiers.IONode = c
-	if _, err := newFS(cfg); err != nil {
-		t.Errorf("same config in both fields rejected: %v", err)
+	fs, err = New(sim.NewKernel(), cfg, pablo.NewTrace())
+	if err != nil {
+		t.Fatal(err)
 	}
-
-	// Conflicting values must be rejected loudly.
-	cfg = DefaultConfig(mesh.MustNew(mesh.DefaultConfig()))
-	cfg.Cache = &cache.Config{WriteBehind: true}
-	cfg.Tiers.IONode = &cache.Config{ReadAhead: 2}
-	if _, err := newFS(cfg); err == nil || !strings.Contains(err.Error(), "deprecated") {
-		t.Errorf("conflicting Cache/Tiers.IONode: err = %v, want deprecation conflict", err)
+	if fs.Caching() || fs.CacheStats() != nil {
+		t.Error("zero Tiers enabled a cache")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"paragonio/internal/cache"
+	"paragonio/internal/faults"
 )
 
 // CacheOptions tunes the cache advisor.
@@ -33,6 +34,10 @@ type CacheOptions struct {
 	// ReadAheadDepth is the depth recommended when prefetch pays
 	// (default 4 blocks, the cachewhatif depth).
 	ReadAheadDepth int
+	// Faults is the fault plan the advised machine will run under; the
+	// advisor trims its recommendation for a machine it knows will
+	// degrade (see AdviseTiers). Empty means a healthy machine.
+	Faults faults.Plan
 }
 
 func (o *CacheOptions) defaults() {
@@ -279,7 +284,51 @@ func AdviseTiers(profiles map[string]*Profile, opt CacheOptions) TiersPlan {
 		}
 		plan.Tiers.Client = cc
 	}
+	adviseFaults(&plan, opt)
 	return plan
+}
+
+// faultRiskFlushDeadline bounds write-behind exposure on a machine that
+// is scheduled to degrade: every acknowledged dirty block must reach
+// the array within this window.
+const faultRiskFlushDeadline = 50 * time.Millisecond
+
+// adviseFaults trims the merged configuration for the fault plan the
+// machine will run under (CacheOptions.Faults). Two adjustments, both
+// defensive: with an array-side fault scheduled (disk-fail, node-crash,
+// or straggler), write-behind still acknowledges at memory-copy cost
+// but each acknowledged dirty block sits exposed in volatile cache
+// while the array it must reach is broken or slow — the advisor bounds
+// the exposure by switching the flusher to a short deadline. With a
+// client-flap scheduled, leases are recalled wholesale mid-run, so the
+// advisor caps the lease TTL at the default rather than sizing it to
+// reuse spans the storm severs anyway.
+func adviseFaults(plan *TiersPlan, opt CacheOptions) {
+	if opt.Faults.Empty() {
+		return
+	}
+	var arraySide, flap bool
+	for _, f := range opt.Faults.Faults {
+		switch f.Kind {
+		case faults.DiskFail, faults.NodeCrash, faults.Straggler:
+			arraySide = true
+		case faults.ClientFlap:
+			flap = true
+		}
+	}
+	if arraySide && plan.Tiers.IONode != nil && plan.Tiers.IONode.WriteBehind &&
+		(plan.Tiers.IONode.FlushDeadline == 0 || plan.Tiers.IONode.FlushDeadline > faultRiskFlushDeadline) {
+		plan.Tiers.IONode.FlushDeadline = faultRiskFlushDeadline
+		plan.Notes = append(plan.Notes, fmt.Sprintf(
+			"flush deadline tightened to %v: the fault plan degrades the array, and every write-behind-acknowledged dirty block is exposure until it reaches the disks",
+			faultRiskFlushDeadline))
+	}
+	if flap && plan.Tiers.Client != nil && plan.Tiers.Client.LeaseTTL > cache.DefaultClientTTL {
+		plan.Tiers.Client.LeaseTTL = cache.DefaultClientTTL
+		plan.Notes = append(plan.Notes, fmt.Sprintf(
+			"client lease TTL capped at %v: the fault plan flaps a client, and long leases only widen each recall storm",
+			cache.DefaultClientTTL))
+	}
 }
 
 // clampPow2 rounds n up to a power of two and clamps it to [lo, hi]

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"paragonio/internal/cache"
+	"paragonio/internal/faults"
 	"paragonio/internal/pablo"
 )
 
@@ -200,6 +201,79 @@ func TestAdviseTiersDeterministicOrdering(t *testing.T) {
 	}
 	if !sort.StringsAreSorted(files) {
 		t.Fatalf("AdviseAll not sorted by file: %v", files)
+	}
+}
+
+// TestAdviseTiersFaultAware: the advisor trims its plan for the fault
+// schedule the machine will run under. An array-side fault bounds
+// write-behind exposure with a short flush deadline; a client flap caps
+// the lease TTL at the default; a healthy plan changes nothing.
+func TestAdviseTiersFaultAware(t *testing.T) {
+	wbTrace := pablo.NewTrace()
+	off := int64(0)
+	for i := 0; i < 10; i++ {
+		wbTrace.Record(mkWrite(0, "log", off, 2048, "M_UNIX"))
+		off += 2048
+	}
+	wbProfs := Classify(wbTrace)
+
+	healthy := AdviseTiers(wbProfs, CacheOptions{})
+	if healthy.Tiers.IONode == nil || healthy.Tiers.IONode.FlushDeadline != 0 {
+		t.Fatalf("healthy plan = %v, want wb=on with no flush deadline", healthy.Tiers)
+	}
+
+	for _, f := range []faults.Fault{
+		{Kind: faults.DiskFail, At: time.Second, IONode: 0},
+		{Kind: faults.NodeCrash, At: time.Second, IONode: 1},
+		{Kind: faults.Straggler, At: time.Second, IONode: 0, Factor: 4},
+	} {
+		opt := CacheOptions{Faults: faults.Plan{Faults: []faults.Fault{f}}}
+		plan := AdviseTiers(wbProfs, opt)
+		ion := plan.Tiers.IONode
+		if ion == nil || !ion.WriteBehind {
+			t.Fatalf("%s: write-behind dropped: %v", f.Kind, plan.Tiers)
+		}
+		if ion.FlushDeadline != faultRiskFlushDeadline {
+			t.Errorf("%s: flush deadline = %v, want %v", f.Kind, ion.FlushDeadline, faultRiskFlushDeadline)
+		}
+		if len(plan.Notes) == 0 {
+			t.Errorf("%s: no note recorded for the tightened deadline", f.Kind)
+		}
+	}
+
+	// A client flap alone must not touch the I/O-node tier.
+	flapOnly := AdviseTiers(wbProfs, CacheOptions{Faults: faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.ClientFlap, At: time.Second, Node: 0}}}})
+	if flapOnly.Tiers.IONode == nil || flapOnly.Tiers.IONode.FlushDeadline != 0 {
+		t.Errorf("client flap tightened the I/O-node flusher: %v", flapOnly.Tiers)
+	}
+
+	clTrace := pablo.NewTrace()
+	for pass := 0; pass < 2; pass++ {
+		base := time.Duration(pass) * 5 * time.Minute
+		for i := int64(0); i < 4; i++ {
+			clTrace.Record(at(mkRead(0, "quad", i*SignalBlock, SignalBlock, "M_RECORD"),
+				base+time.Duration(i)*time.Second))
+		}
+	}
+	clProfs := Classify(clTrace)
+	longLease := AdviseTiers(clProfs, CacheOptions{})
+	if longLease.Tiers.Client == nil || longLease.Tiers.Client.LeaseTTL <= cache.DefaultClientTTL {
+		t.Fatalf("reuse profile did not earn a long lease: %v", longLease.Tiers)
+	}
+	capped := AdviseTiers(clProfs, CacheOptions{Faults: faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.ClientFlap, At: time.Second, Node: 0}}}})
+	if capped.Tiers.Client == nil || capped.Tiers.Client.LeaseTTL != cache.DefaultClientTTL {
+		t.Errorf("flap plan left lease at %v, want cap %v", capped.Tiers.Client.LeaseTTL, cache.DefaultClientTTL)
+	}
+	if len(capped.Notes) == 0 {
+		t.Error("no note recorded for the capped lease")
+	}
+	// Array-side faults leave the client tier's lease alone.
+	unCapped := AdviseTiers(clProfs, CacheOptions{Faults: faults.Plan{Faults: []faults.Fault{
+		{Kind: faults.DiskFail, At: time.Second, IONode: 0}}}})
+	if unCapped.Tiers.Client == nil || unCapped.Tiers.Client.LeaseTTL != longLease.Tiers.Client.LeaseTTL {
+		t.Errorf("disk-fail plan changed the client lease: %v", unCapped.Tiers)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"paragonio/internal/cache"
 	"paragonio/internal/core"
 	"paragonio/internal/experiments"
+	"paragonio/internal/faults"
 	"paragonio/internal/pablo"
 	"paragonio/internal/policy"
 )
@@ -36,11 +37,33 @@ type SimulateRequest struct {
 
 	Tiers *TiersRequest `json:"tiers,omitempty"`
 
+	// Faults schedules deterministic fault injection (internal/faults):
+	// the run executes on a machine that degrades at the given instants.
+	// Empty means the healthy machine. The plan is part of the content
+	// address, so degraded results never collide with healthy ones.
+	Faults []FaultRequest `json:"faults,omitempty"`
+
 	// SDDF, on /v1/simulate, streams the run's SDDF event trace as
 	// text instead of the JSON summary. SDDF responses bypass the
 	// result cache (they are bulky and cheap to regenerate from a
 	// cached config decision is deliberate) but not admission control.
 	SDDF bool `json:"sddf,omitempty"`
+}
+
+// FaultRequest is one injected fault. Kind selects which other fields
+// apply (see internal/faults for the per-kind contract): disk-fail and
+// node-crash take ionode (+ until_ms for a repaired drive); straggler
+// takes ionode and factor; client-flap takes node, and optionally
+// period_ms + count for a recall storm.
+type FaultRequest struct {
+	Kind     string  `json:"kind"`
+	AtMS     int64   `json:"at_ms,omitempty"`
+	UntilMS  int64   `json:"until_ms,omitempty"`
+	IONode   int     `json:"ionode,omitempty"`
+	Node     int     `json:"node,omitempty"`
+	Factor   float64 `json:"factor,omitempty"`
+	PeriodMS int64   `json:"period_ms,omitempty"`
+	Count    int     `json:"count,omitempty"`
 }
 
 // TiersRequest selects the what-if cache hierarchy.
@@ -132,15 +155,68 @@ type AdviseResponse struct {
 	Advice  string `json:"advice"` // rendered advisor report
 }
 
-// apiError is the JSON error envelope.
+// apiError is the JSON error envelope: every error response, on every
+// endpoint, is {"error": {"code": ..., "message": ..., "field": ...}}.
 type apiError struct {
-	Error string `json:"error"`
+	Error ErrorBody `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+// ErrorBody is the structured error payload.
+type ErrorBody struct {
+	// Code is a stable machine-readable identifier; the full catalog is
+	// the ErrCode constants below.
+	Code string `json:"code"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+	// Field names the request field a validation failure is about
+	// (empty on errors that are not about one field).
+	Field string `json:"field,omitempty"`
+}
+
+// The error-code catalog. Codes are part of the API contract: clients
+// dispatch on them, so they never change meaning.
+const (
+	ErrCodeBadJSON        = "bad_json"        // 400: body is not valid JSON for the endpoint
+	ErrCodeInvalidRequest = "invalid_request" // 400: a field failed validation
+	ErrCodeQueueFull      = "queue_full"      // 429: admission queue full, retry later
+	ErrCodeTimeout        = "timeout"         // 504: run exceeded the server deadline
+	ErrCodeCancelled      = "cancelled"       // 503: run cancelled (shutdown or client gone)
+	ErrCodeRunFailed      = "run_failed"      // 422: the engine rejected the configuration
+	ErrCodeNotFound       = "not_found"       // 404: no such cached result
+)
+
+func writeError(w http.ResponseWriter, status int, code, field, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: ErrorBody{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+		Field:   field,
+	}})
+}
+
+// fieldError is a validation failure tied to the request field it names;
+// handlers surface the field in the error envelope.
+type fieldError struct {
+	field string
+	msg   string
+}
+
+func (e *fieldError) Error() string { return e.msg }
+
+func fieldErrorf(field, format string, args ...any) error {
+	return &fieldError{field: field, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeValidationError renders a validate() failure, carrying the field
+// name through when the error has one.
+func writeValidationError(w http.ResponseWriter, err error) {
+	var fe *fieldError
+	if errors.As(err, &fe) {
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, fe.field, "%s", fe.msg)
+		return
+	}
+	writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, "", "%v", err)
 }
 
 // runFunc executes one validated request; the default builds the real
@@ -174,30 +250,67 @@ func (r *SimulateRequest) validate() error {
 			r.Dataset = "ethylene"
 		}
 		if _, ok := escatDataset(r.Dataset); !ok {
-			return fmt.Errorf("unknown escat dataset %q (want ethylene or co)", r.Dataset)
+			return fieldErrorf("dataset", "unknown escat dataset %q (want ethylene or co)", r.Dataset)
 		}
 		if _, ok := escatVersion(r.Version, r.Dataset); !ok {
-			return fmt.Errorf("unknown escat version %q (want A, A2, B1, B2, B3, B, or C)", r.Version)
+			return fieldErrorf("version", "unknown escat version %q (want A, A2, B1, B2, B3, B, or C)", r.Version)
 		}
 	case "prism":
 		if r.Dataset != "" {
-			return fmt.Errorf("prism takes no dataset (got %q)", r.Dataset)
+			return fieldErrorf("dataset", "prism takes no dataset (got %q)", r.Dataset)
 		}
 		if _, ok := prismVersion(r.Version); !ok {
-			return fmt.Errorf("unknown prism version %q (want A, B, or C)", r.Version)
+			return fieldErrorf("version", "unknown prism version %q (want A, B, or C)", r.Version)
 		}
 	case "":
-		return errors.New("missing app (want escat or prism)")
+		return fieldErrorf("app", "missing app (want escat or prism)")
 	default:
-		return fmt.Errorf("unknown app %q (want escat or prism)", r.App)
+		return fieldErrorf("app", "unknown app %q (want escat or prism)", r.App)
 	}
 	if r.Shards < 0 {
-		return fmt.Errorf("shards must be non-negative, got %d", r.Shards)
+		return fieldErrorf("shards", "shards must be non-negative, got %d", r.Shards)
 	}
-	if r.IONodes < 0 || r.StripeUnit < 0 || r.WindowUS < 0 || r.SampleMS < 0 {
-		return errors.New("ionodes, stripe_unit, window_us, and sample_ms must be non-negative")
+	if r.IONodes < 0 {
+		return fieldErrorf("ionodes", "ionodes must be non-negative, got %d", r.IONodes)
+	}
+	if r.StripeUnit < 0 {
+		return fieldErrorf("stripe_unit", "stripe_unit must be non-negative, got %d", r.StripeUnit)
+	}
+	if r.WindowUS < 0 {
+		return fieldErrorf("window_us", "window_us must be non-negative, got %d", r.WindowUS)
+	}
+	if r.SampleMS < 0 {
+		return fieldErrorf("sample_ms", "sample_ms must be non-negative, got %d", r.SampleMS)
+	}
+	ionodes := r.IONodes
+	if ionodes == 0 {
+		ionodes = 16 // the paper machine core.Config defaults to
+	}
+	if err := r.faultsPlan().Validate(ionodes); err != nil {
+		return fieldErrorf("faults", "%v", err)
 	}
 	return nil
+}
+
+// faultsPlan maps the request's faults block onto the engine's plan.
+func (r *SimulateRequest) faultsPlan() faults.Plan {
+	if len(r.Faults) == 0 {
+		return faults.Plan{}
+	}
+	fs := make([]faults.Fault, len(r.Faults))
+	for i, f := range r.Faults {
+		fs[i] = faults.Fault{
+			Kind:   faults.Kind(f.Kind),
+			At:     time.Duration(f.AtMS) * time.Millisecond,
+			Until:  time.Duration(f.UntilMS) * time.Millisecond,
+			IONode: f.IONode,
+			Node:   f.Node,
+			Factor: f.Factor,
+			Period: time.Duration(f.PeriodMS) * time.Millisecond,
+			Count:  f.Count,
+		}
+	}
+	return faults.Plan{Faults: fs}
 }
 
 // config maps the validated request onto a core.Config.
@@ -209,6 +322,7 @@ func (r *SimulateRequest) config() core.Config {
 		Shards:         r.Shards,
 		Window:         time.Duration(r.WindowUS) * time.Microsecond,
 		SampleInterval: time.Duration(r.SampleMS) * time.Millisecond,
+		Faults:         r.faultsPlan(),
 	}
 	if t := r.Tiers; t != nil {
 		if io := t.IONode; io != nil {
@@ -330,11 +444,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, ErrCodeBadJSON, "", "bad request body: %v", err)
 		return
 	}
 	if err := req.validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeValidationError(w, err)
 		return
 	}
 	cfg := req.config()
@@ -370,15 +484,16 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, ErrCodeBadJSON, "", "bad request body: %v", err)
 		return
 	}
 	if req.SDDF {
-		writeError(w, http.StatusBadRequest, "sddf streaming is a /v1/simulate option")
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, "sddf",
+			"sddf streaming is a /v1/simulate option")
 		return
 	}
 	if err := req.validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeValidationError(w, err)
 		return
 	}
 	cfg := req.config()
@@ -442,14 +557,16 @@ func (s *Server) writeRunError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", retryAfter(s.cfg.Timeout))
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		writeError(w, http.StatusTooManyRequests, ErrCodeQueueFull, "", "%v", err)
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout,
+		writeError(w, http.StatusGatewayTimeout, ErrCodeTimeout, "",
 			"simulation exceeded the %s run deadline", s.cfg.Timeout)
 	case errors.Is(err, context.Canceled):
-		writeError(w, http.StatusServiceUnavailable, "simulation cancelled: %v", err)
+		writeError(w, http.StatusServiceUnavailable, ErrCodeCancelled, "",
+			"simulation cancelled: %v", err)
 	default:
-		writeError(w, http.StatusUnprocessableEntity, "simulation failed: %v", err)
+		writeError(w, http.StatusUnprocessableEntity, ErrCodeRunFailed, "",
+			"simulation failed: %v", err)
 	}
 }
 
@@ -480,6 +597,9 @@ func (s *Server) admitAndRunAs(ctx context.Context, client, kind string, req *Si
 		return nil, err
 	}
 	defer release()
+	if !cfg.Faults.Empty() {
+		s.faultRuns.Inc()
+	}
 	start := time.Now()
 	res, err := s.runSim(ctx, req, cfg)
 	s.runSeconds.Observe(time.Since(start).Seconds())
@@ -605,13 +725,13 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("hash")
 	if !hashRe.MatchString(key) {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, "hash",
 			"malformed result hash %q (want 16 hex digits, optionally prefixed like advise/)", key)
 		return
 	}
 	body, ok := s.cache.Get(key)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no cached result for %s", key)
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "", "no cached result for %s", key)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

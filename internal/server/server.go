@@ -97,6 +97,7 @@ type Server struct {
 	spillHits   *metrics.Counter
 	sweepPoints *metrics.Counter
 	sweepDedup  *metrics.CounterVec
+	faultRuns   *metrics.Counter
 }
 
 // New builds a daemon from cfg.
@@ -172,6 +173,8 @@ func (s *Server) wireMetrics() {
 	s.sweepDedup = r.CounterVec("iosimd_sweep_dedup_total",
 		"Sweep points served without a fresh engine run, by dedup source.",
 		"source")
+	s.faultRuns = r.Counter("iosimd_fault_runs_total",
+		"Admitted simulation runs carrying a non-empty fault plan.")
 
 	// Pre-create the label children so the gauges read zero from boot
 	// instead of appearing on first use.

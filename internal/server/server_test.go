@@ -137,22 +137,37 @@ func getURL(t *testing.T, ts *httptest.Server, path string) (*http.Response, []b
 	return resp, b.Bytes()
 }
 
+// TestSimulateBadRequests pins the error-schema contract: every failure
+// is {"error": {"code", "message", "field"}} with a stable code and the
+// offending field named on validation errors.
 func TestSimulateBadRequests(t *testing.T) {
 	s := newTestServer(t, Config{}, stubRun)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
 	for _, tc := range []struct {
-		body, wantErr string
+		body      string
+		wantCode  string
+		wantField string
+		wantErr   string
 	}{
-		{`{not json`, "bad request body"},
-		{`{"app":"escat","version":"C","bogus":1}`, "bad request body"},
-		{`{"version":"C"}`, "missing app"},
-		{`{"app":"fortran","version":"C"}`, `unknown app "fortran"`},
-		{`{"app":"escat","version":"Z"}`, `unknown escat version "Z"`},
-		{`{"app":"escat","dataset":"helium","version":"C"}`, `unknown escat dataset "helium"`},
-		{`{"app":"prism","dataset":"ethylene","version":"C"}`, "prism takes no dataset"},
-		{`{"app":"prism","version":"C","shards":-1}`, "shards must be non-negative"},
+		{`{not json`, ErrCodeBadJSON, "", "bad request body"},
+		{`{"app":"escat","version":"C","bogus":1}`, ErrCodeBadJSON, "", "bad request body"},
+		{`{"version":"C"}`, ErrCodeInvalidRequest, "app", "missing app"},
+		{`{"app":"fortran","version":"C"}`, ErrCodeInvalidRequest, "app", `unknown app "fortran"`},
+		{`{"app":"escat","version":"Z"}`, ErrCodeInvalidRequest, "version", `unknown escat version "Z"`},
+		{`{"app":"escat","dataset":"helium","version":"C"}`, ErrCodeInvalidRequest, "dataset", `unknown escat dataset "helium"`},
+		{`{"app":"prism","dataset":"ethylene","version":"C"}`, ErrCodeInvalidRequest, "dataset", "prism takes no dataset"},
+		{`{"app":"prism","version":"C","shards":-1}`, ErrCodeInvalidRequest, "shards", "shards must be non-negative"},
+		{`{"app":"prism","version":"C","ionodes":-1}`, ErrCodeInvalidRequest, "ionodes", "ionodes must be non-negative"},
+		{`{"app":"prism","version":"C","faults":[{"kind":"disk-melt"}]}`,
+			ErrCodeInvalidRequest, "faults", "unknown kind"},
+		{`{"app":"prism","version":"C","faults":[{"kind":"straggler","ionode":0,"factor":0.5}]}`,
+			ErrCodeInvalidRequest, "faults", "need > 1"},
+		{`{"app":"prism","version":"C","faults":[{"kind":"disk-fail","ionode":99}]}`,
+			ErrCodeInvalidRequest, "faults", "out of range"},
+		{`{"app":"prism","version":"C","faults":[{"kind":"disk-fail","bogus":1}]}`,
+			ErrCodeBadJSON, "", "bad request body"},
 	} {
 		resp, out := postJSON(t, ts, "/v1/simulate", tc.body)
 		if resp.StatusCode != 400 {
@@ -160,9 +175,97 @@ func TestSimulateBadRequests(t *testing.T) {
 			continue
 		}
 		var e apiError
-		if err := json.Unmarshal(out, &e); err != nil || !strings.Contains(e.Error, tc.wantErr) {
-			t.Errorf("%s: error %q does not mention %q", tc.body, e.Error, tc.wantErr)
+		if err := json.Unmarshal(out, &e); err != nil {
+			t.Errorf("%s: error body is not the envelope: %v\n%s", tc.body, err, out)
+			continue
 		}
+		if e.Error.Code != tc.wantCode {
+			t.Errorf("%s: code %q, want %q", tc.body, e.Error.Code, tc.wantCode)
+		}
+		if e.Error.Field != tc.wantField {
+			t.Errorf("%s: field %q, want %q", tc.body, e.Error.Field, tc.wantField)
+		}
+		if !strings.Contains(e.Error.Message, tc.wantErr) {
+			t.Errorf("%s: message %q does not mention %q", tc.body, e.Error.Message, tc.wantErr)
+		}
+	}
+}
+
+// TestErrorSchemaOnRunAndResultPaths pins codes on the non-validation
+// paths: engine failure (run_failed), unknown result (not_found), and
+// malformed result hash (invalid_request on "hash").
+func TestErrorSchemaOnRunAndResultPaths(t *testing.T) {
+	failing := func(ctx context.Context, req *SimulateRequest, cfg core.Config) (*core.Result, error) {
+		return nil, fmt.Errorf("boom")
+	}
+	s := newTestServer(t, Config{}, failing)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, out := postJSON(t, ts, "/v1/simulate", `{"app":"prism","version":"C"}`)
+	var e apiError
+	if err := json.Unmarshal(out, &e); err != nil {
+		t.Fatalf("run failure body: %v\n%s", err, out)
+	}
+	if resp.StatusCode != http.StatusUnprocessableEntity || e.Error.Code != ErrCodeRunFailed {
+		t.Errorf("run failure: status %d code %q, want 422 %s", resp.StatusCode, e.Error.Code, ErrCodeRunFailed)
+	}
+
+	resp, out = getURL(t, ts, "/v1/results/0000000000000000")
+	if err := json.Unmarshal(out, &e); err != nil {
+		t.Fatalf("not-found body: %v\n%s", err, out)
+	}
+	if resp.StatusCode != 404 || e.Error.Code != ErrCodeNotFound {
+		t.Errorf("unknown hash: status %d code %q, want 404 %s", resp.StatusCode, e.Error.Code, ErrCodeNotFound)
+	}
+
+	resp, out = getURL(t, ts, "/v1/results/nothex")
+	if err := json.Unmarshal(out, &e); err != nil {
+		t.Fatalf("malformed-hash body: %v\n%s", err, out)
+	}
+	if resp.StatusCode != 400 || e.Error.Code != ErrCodeInvalidRequest || e.Error.Field != "hash" {
+		t.Errorf("malformed hash: status %d code %q field %q, want 400 %s hash",
+			resp.StatusCode, e.Error.Code, e.Error.Field, ErrCodeInvalidRequest)
+	}
+}
+
+// TestSimulateFaultsBlock: a faults block reaches the engine config,
+// is part of the content address, and counts in the fault-runs metric.
+func TestSimulateFaultsBlock(t *testing.T) {
+	var got core.Config
+	capture := func(ctx context.Context, req *SimulateRequest, cfg core.Config) (*core.Result, error) {
+		got = cfg
+		return stubRun(ctx, req, cfg)
+	}
+	s := newTestServer(t, Config{}, capture)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const degraded = `{"app":"prism","version":"C","faults":[{"kind":"disk-fail","at_ms":1000,"ionode":0}]}`
+	resp, out := postJSON(t, ts, "/v1/simulate", degraded)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	if got.Faults.String() != "disk-fail@1000000000,io=0" {
+		t.Errorf("engine saw plan %q", got.Faults.String())
+	}
+	if s.faultRuns.Value() != 1 {
+		t.Errorf("fault-runs counter = %d, want 1", s.faultRuns.Value())
+	}
+	var deg SimulateResponse
+	if err := json.Unmarshal(out, &deg); err != nil {
+		t.Fatal(err)
+	}
+	_, out = postJSON(t, ts, "/v1/simulate", `{"app":"prism","version":"C"}`)
+	var healthy SimulateResponse
+	if err := json.Unmarshal(out, &healthy); err != nil {
+		t.Fatal(err)
+	}
+	if deg.Hash == healthy.Hash {
+		t.Error("degraded run shares the healthy run's content address")
+	}
+	if s.faultRuns.Value() != 1 {
+		t.Errorf("healthy run moved the fault-runs counter to %d", s.faultRuns.Value())
 	}
 }
 
@@ -399,5 +502,22 @@ func TestDaemonDeterminism(t *testing.T) {
 	}
 	if r.Events != 11396 {
 		t.Errorf("daemon prism/C events %d, golden 11396", r.Events)
+	}
+
+	// The degraded run is just as deterministic: the disk-fail golden
+	// from internal/experiments/faults_test.go, reachable over HTTP.
+	resp, out = postJSON(t, ts, "/v1/simulate",
+		`{"app":"prism","version":"C","faults":[{"kind":"disk-fail","at_ms":1000,"ionode":0}]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("degraded status %d: %s", resp.StatusCode, out)
+	}
+	if err := json.Unmarshal(out, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Digest != "0x9ce1a397b722477e" {
+		t.Errorf("daemon prism/C+disk-fail digest %s, golden 0x9ce1a397b722477e", r.Digest)
+	}
+	if r.Events != 11396 {
+		t.Errorf("daemon prism/C+disk-fail events %d, golden 11396", r.Events)
 	}
 }

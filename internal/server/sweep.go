@@ -3,7 +3,6 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"net"
 	"net/http"
 	"sync"
@@ -14,10 +13,11 @@ import (
 
 // SweepRequest is the body of POST /v1/sweep: a config grid declared as
 // one list per axis. The planner expands the Cartesian product
-// (version × seed × ionodes × stripe × tier), dedupes the points by
-// content address against the result cache and every in-flight run, and
-// executes the survivors through the shared admission scheduler.
-// Results stream back as NDJSON in completion order.
+// (version × seed × ionodes × stripe × tier × fault plan), dedupes the
+// points by content address against the result cache and every
+// in-flight run, and executes the survivors through the shared
+// admission scheduler. Results stream back as NDJSON in completion
+// order.
 type SweepRequest struct {
 	App     string `json:"app"`               // "escat" or "prism"
 	Dataset string `json:"dataset,omitempty"` // escat only
@@ -30,6 +30,10 @@ type SweepRequest struct {
 	// Tiers is the cache-hierarchy ladder: one entry per rung, null for
 	// the uncached baseline. Default is a single-null ladder.
 	Tiers []*TiersRequest `json:"tiers,omitempty"`
+
+	// Faults is the fault-plan ladder: one plan per rung, empty (or
+	// null) for the healthy machine. Default is a single healthy rung.
+	Faults [][]FaultRequest `json:"faults,omitempty"`
 
 	// Per-point scalars shared by every grid point.
 	Shards   int   `json:"shards,omitempty"`
@@ -56,7 +60,8 @@ type sweepPointLine struct {
 	Seed       int64  `json:"seed"`
 	IONodes    int    `json:"ionodes,omitempty"`
 	StripeUnit int64  `json:"stripe_unit,omitempty"`
-	Tier       int    `json:"tier"` // index into the request's tier ladder
+	Tier       int    `json:"tier"`  // index into the request's tier ladder
+	Fault      int    `json:"fault"` // index into the request's fault ladder
 
 	Hash   string `json:"hash,omitempty"`
 	Status string `json:"status"`          // "ok", "error", or "invalid"
@@ -83,6 +88,7 @@ type sweepPoint struct {
 	index int
 	req   SimulateRequest
 	tier  int
+	fault int
 	key   string
 	err   error // validation failure, when non-nil
 }
@@ -91,7 +97,7 @@ type sweepPoint struct {
 // carry their validation error instead of a key.
 func (sr *SweepRequest) expand() ([]sweepPoint, error) {
 	if len(sr.Versions) == 0 {
-		return nil, fmt.Errorf("sweep needs at least one version")
+		return nil, fieldErrorf("versions", "sweep needs at least one version")
 	}
 	seeds := sr.Seeds
 	if len(seeds) == 0 {
@@ -109,7 +115,11 @@ func (sr *SweepRequest) expand() ([]sweepPoint, error) {
 	if len(tiers) == 0 {
 		tiers = []*TiersRequest{nil}
 	}
-	grid, err := experiments.NewGrid(len(sr.Versions), len(seeds), len(ionodes), len(stripes), len(tiers))
+	plans := sr.Faults
+	if len(plans) == 0 {
+		plans = [][]FaultRequest{nil}
+	}
+	grid, err := experiments.NewGrid(len(sr.Versions), len(seeds), len(ionodes), len(stripes), len(tiers), len(plans))
 	if err != nil {
 		return nil, err
 	}
@@ -119,6 +129,7 @@ func (sr *SweepRequest) expand() ([]sweepPoint, error) {
 		p := sweepPoint{
 			index: i,
 			tier:  c[4],
+			fault: c[5],
 			req: SimulateRequest{
 				App:        sr.App,
 				Dataset:    sr.Dataset,
@@ -130,6 +141,7 @@ func (sr *SweepRequest) expand() ([]sweepPoint, error) {
 				WindowUS:   sr.WindowUS,
 				SampleMS:   sr.SampleMS,
 				Tiers:      tiers[c[4]],
+				Faults:     plans[c[5]],
 			},
 		}
 		if err := p.req.validate(); err != nil {
@@ -153,6 +165,7 @@ func (p *sweepPoint) line() sweepPointLine {
 		IONodes:    p.req.IONodes,
 		StripeUnit: p.req.StripeUnit,
 		Tier:       p.tier,
+		Fault:      p.fault,
 		Hash:       p.key,
 	}
 }
@@ -217,16 +230,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sr); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, ErrCodeBadJSON, "", "bad request body: %v", err)
 		return
 	}
 	points, err := sr.expand()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeValidationError(w, err)
 		return
 	}
 	if len(points) > s.cfg.MaxSweepPoints {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, "",
 			"sweep expands to %d points, over the %d-point cap", len(points), s.cfg.MaxSweepPoints)
 		return
 	}

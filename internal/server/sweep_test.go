@@ -140,6 +140,57 @@ func TestSweepNDJSONGridAndDedup(t *testing.T) {
 	}
 }
 
+// TestSweepFaultAxis: the fault ladder is a grid axis — each rung gets
+// its own content address and its index comes back on the point line.
+func TestSweepFaultAxis(t *testing.T) {
+	s := newTestServer(t, Config{}, stubRun)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const grid = `{"app":"prism","versions":["C"],
+		"faults":[null,[{"kind":"disk-fail","at_ms":1000,"ionode":0}],[{"kind":"straggler","at_ms":1000,"ionode":1,"factor":4}]]}`
+	resp, body := postJSON(t, ts, "/v1/sweep", grid)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	plan, points, summary := parseSweepBody(t, body)
+	if plan.Points != 3 || plan.Unique != 3 || summary.OK != 3 {
+		t.Fatalf("plan %+v summary %+v, want 3 distinct ok points", plan, summary)
+	}
+	hashes := map[string]bool{}
+	faultIdx := map[int]bool{}
+	for _, p := range points {
+		if p.Status != "ok" {
+			t.Errorf("point %d: %q (%s)", p.Point, p.Status, p.Error)
+		}
+		hashes[p.Hash] = true
+		faultIdx[p.Fault] = true
+	}
+	if len(hashes) != 3 {
+		t.Errorf("fault rungs share content addresses: %v", hashes)
+	}
+	if !faultIdx[0] || !faultIdx[1] || !faultIdx[2] {
+		t.Errorf("fault indices = %v, want {0,1,2}", faultIdx)
+	}
+	if v := s.faultRuns.Value(); v != 2 {
+		t.Errorf("iosimd_fault_runs_total = %d, want 2 (healthy rung excluded)", v)
+	}
+
+	// A malformed rung is an invalid point, not a request failure.
+	const badRung = `{"app":"prism","versions":["C"],"faults":[[{"kind":"disk-melt"}]]}`
+	resp, body = postJSON(t, ts, "/v1/sweep", badRung)
+	if resp.StatusCode != 200 {
+		t.Fatalf("bad-rung status %d: %s", resp.StatusCode, body)
+	}
+	_, points, summary = parseSweepBody(t, body)
+	if summary.Invalid != 1 || len(points) != 1 || points[0].Status != "invalid" {
+		t.Errorf("bad rung: summary %+v points %+v", summary, points)
+	}
+	if !strings.Contains(points[0].Error, "unknown kind") {
+		t.Errorf("bad rung error %q", points[0].Error)
+	}
+}
+
 func TestSweepInRequestDedupAndInvalid(t *testing.T) {
 	var runCount atomic.Int32
 	s := newTestServer(t, Config{}, func(ctx context.Context, req *SimulateRequest, cfg core.Config) (*core.Result, error) {

@@ -3,8 +3,10 @@
 # the daemon's contract end to end — health, a real simulate of the
 # smallest canonical run (pinned to its golden trace digest), the
 # content-addressed cache hit on the identical re-request, a batched
-# sweep whose repeated grid dedups entirely against the cache, and a
-# kill-and-restart proving the spill directory warm-starts the index.
+# sweep whose repeated grid dedups entirely against the cache, a
+# degraded (fault-injected) run pinned to its own golden digest with a
+# structured 400 on a malformed faults block, and a kill-and-restart
+# proving the spill directory warm-starts the index.
 # The daemon is killed on exit either way.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -71,7 +73,26 @@ echo "$sweep2" | tail -1 | grep -q '"dedup_cache":2'
 metrics=$(curl -fsS "$base/metrics")
 echo "$metrics" | grep -q '^iosimd_sweep_dedup_total{source="cache"} 3$'
 
-# 7. Warm restart: kill the daemon, boot a fresh one on the same spill
+# 7. Degraded run: the same prism/C with a failed disk is a distinct
+#    fresh run with its own pinned golden digest — fault plans are part
+#    of the content address, and the fault-runs counter ticks.
+fault_req='{"app":"prism","version":"C","faults":[{"kind":"disk-fail","at_ms":1000,"ionode":0}]}'
+degraded=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$fault_req" "$base/v1/simulate")
+echo "$degraded" | grep -q '"cached":false'
+echo "$degraded" | grep -q '"digest":"0x9ce1a397b722477e"'
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep -q '^iosimd_fault_runs_total 1$'
+
+# 8. A malformed faults block is a structured 400: stable error code,
+#    offending field named.
+bad_fault='{"app":"prism","version":"C","faults":[{"kind":"disk-melt"}]}'
+code=$(curl -sS -o "$work/err.json" -w '%{http_code}' -X POST -H 'Content-Type: application/json' -d "$bad_fault" "$base/v1/simulate")
+[ "$code" = 400 ]
+grep -q '"code":"invalid_request"' "$work/err.json"
+grep -q '"field":"faults"' "$work/err.json"
+grep -q 'unknown kind' "$work/err.json"
+
+# 9. Warm restart: kill the daemon, boot a fresh one on the same spill
 #    directory, and the old run is answered from disk without touching
 #    the engine.
 kill "$pid"
@@ -79,7 +100,7 @@ wait "$pid" 2>/dev/null || true
 pid=""
 boot "$work/out2.log" -spill "$work/spill"
 echo "service-smoke: restarted at $base"
-grep -q '^iosimd: warm start: 2 result artifacts indexed' "$work/out2.log"
+grep -q '^iosimd: warm start: 3 result artifacts indexed' "$work/out2.log"
 warm=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$req" "$base/v1/simulate")
 echo "$warm" | grep -q '"cached":true'
 echo "$warm" | grep -q '"digest":"0xbc010fbf3debceec"'
