@@ -1,7 +1,7 @@
 # paragonio — reproduction of Smirni et al., HPDC 1996.
 GO ?= go
 
-.PHONY: all build test test-short vet vet-race vet-race-clientcache vet-race-scaled vet-race-faults fmt bench bench-smoke bench-json bench-diff tables experiments docs-verify service-smoke clean
+.PHONY: all build test test-short vet vet-race vet-race-clientcache vet-race-scaled vet-race-faults vet-race-logtier fmt bench bench-smoke bench-json bench-diff tables experiments docs-verify service-smoke clean
 
 all: build test
 
@@ -43,6 +43,15 @@ vet-race-faults:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/faults/
 	$(GO) test -race -run Fault ./internal/pfs/ ./internal/experiments/ ./internal/server/
+
+# Race-check the log tier: the crash-replay property test (randomized
+# writer/drain/crash schedules against the observer-built consistent-cut
+# oracle), the log-tier unit tests, and the log-on healthy + degraded
+# golden digests at 1/4/16 shards.
+vet-race-logtier:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/cache/
+	$(GO) test -race -run 'LogTier|LogVariants' ./internal/experiments/
 
 # Race-check the window protocol on a scaled machine: a 32x32 mesh with
 # 64 I/O lanes — four times the paper topology — at auto/wide/narrow
@@ -88,15 +97,17 @@ tables:
 experiments:
 	$(GO) run ./cmd/iotables -summary
 
-# Run every shell command documented in README.md, docs/ADVISOR.md, and
-# docs/SERVICE.md code fences, so the quickstarts cannot rot.
+# Run every shell command documented in README.md, docs/ADVISOR.md,
+# docs/SERVICE.md, and docs/TIERS.md code fences, so the quickstarts
+# cannot rot.
 docs-verify:
 	bash scripts/docs-verify.sh
 
 # Build the iosimd daemon, boot it on an ephemeral port, and walk the
 # service contract end to end: health, simulate (pinned to the golden
 # digest), cache-hit re-request, batched sweep (repeated grid dedups
-# fully), kill-and-restart warm start, metrics scrape.
+# fully), fault-injected and log-tier runs (pinned to their own golden
+# digests), kill-and-restart warm start, metrics scrape.
 service-smoke:
 	bash scripts/service-smoke.sh
 

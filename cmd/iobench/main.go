@@ -11,6 +11,7 @@
 //	iobench -kernel checkpoint     -sweep cache   -mode M_ASYNC
 //	iobench -kernel strided-reload -sweep clientcache
 //	iobench -kernel checkpoint     -sweep faults  -mode M_ASYNC
+//	iobench -kernel checkpoint     -sweep logtier -mode M_ASYNC
 //	iobench -nodes 64 -volume 67108864 -request 131072
 //	iobench -shards auto           # shard each simulation across all cores
 package main
@@ -29,7 +30,7 @@ import (
 func main() {
 	var (
 		kernel  = flag.String("kernel", "", "kernel slug (empty = all)")
-		sweep   = flag.String("sweep", "modes", "sweep dimension: modes, request, ionodes, cache, clientcache, advisor, flush, faults")
+		sweep   = flag.String("sweep", "modes", "sweep dimension: modes, request, ionodes, cache, clientcache, advisor, flush, faults, logtier")
 		mode    = flag.String("mode", "M_ASYNC", "access mode for request/ionodes sweeps")
 		nodes   = flag.Int("nodes", 32, "compute nodes")
 		request = flag.Int64("request", 128<<10, "request size (bytes)")
@@ -112,9 +113,11 @@ func run(kernel, sweep, modeName string, nodes int, request, volume, seed int64,
 			results, err = iobench.SweepFlush(base)
 		case "faults":
 			results, err = iobench.SweepFaults(base)
+		case "logtier":
+			results, err = iobench.SweepLogTier(base)
 		default:
 			return cliflags.Sweep(sweep,
-				[]string{"modes", "request", "ionodes", "cache", "clientcache", "advisor", "flush", "faults"})
+				[]string{"modes", "request", "ionodes", "cache", "clientcache", "advisor", "flush", "faults", "logtier"})
 		}
 		if err != nil {
 			return err
@@ -126,6 +129,8 @@ func run(kernel, sweep, modeName string, nodes int, request, volume, seed int64,
 			err = iobench.WriteFlushTable(os.Stdout, title, results)
 		case "faults":
 			err = iobench.WriteFaultTable(os.Stdout, title, results)
+		case "logtier":
+			err = iobench.WriteLogTierTable(os.Stdout, title, results)
 		default:
 			err = iobench.WriteTable(os.Stdout, title, results, label)
 		}

@@ -66,7 +66,7 @@ func TestTiersDefaultsAndValidate(t *testing.T) {
 		t.Fatal("zero Tiers reports enabled")
 	}
 	if err := (Tiers{}).Validate(); err != nil {
-		t.Fatalf("zero Tiers must validate (both tiers off): %v", err)
+		t.Fatalf("zero Tiers must validate (all tiers off): %v", err)
 	}
 	if _, err := (Tiers{Client: &ClientConfig{BlockSize: -1}}).WithDefaults(64*1024, disk.DefaultParams()); err == nil {
 		t.Fatal("bad client config survived Tiers.WithDefaults")

@@ -8,12 +8,12 @@ import (
 	"paragonio/internal/disk"
 )
 
-// Tiers is the unified configuration of the what-if cache hierarchy —
+// Tiers is the unified configuration of the what-if storage hierarchy —
 // the one struct pfs and core take whole, replacing the previous
 // arrangement where each layer mirrored a bare *Config field (and would
-// have had to grow a second one for the client tier).
+// have had to grow one per tier as the hierarchy deepened).
 //
-// Both tiers default to nil: the paper's machine had neither, so
+// Every tier defaults to nil: the paper's machine had none of them, so
 // canonical runs stay bit-identical to the golden digests.
 type Tiers struct {
 	// IONode, when non-nil, installs a buffer cache on every I/O node
@@ -22,10 +22,15 @@ type Tiers struct {
 	// Client, when non-nil, installs a lease-coherent cache on every
 	// compute node in front of the PFS data path (the client tier).
 	Client *ClientConfig
+	// Log, when non-nil, installs a per-compute-node log-structured
+	// write buffer: appends absorb write bursts at memory speed and a
+	// background drain writes them through to the PFS (the host-side
+	// burst-buffer tier; see LogTier).
+	Log *LogConfig
 }
 
 // Enabled reports whether any tier is configured.
-func (t Tiers) Enabled() bool { return t.IONode != nil || t.Client != nil }
+func (t Tiers) Enabled() bool { return t.IONode != nil || t.Client != nil || t.Log != nil }
 
 // WithDefaults fills each configured tier's zero fields — the I/O-node
 // tier against the PFS stripe unit and the backing array, the client
@@ -45,6 +50,13 @@ func (t Tiers) WithDefaults(blockSize int64, d disk.Params) (Tiers, error) {
 		}
 		t.Client = &cc
 	}
+	if t.Log != nil {
+		lc, err := t.Log.WithDefaults()
+		if err != nil {
+			return Tiers{}, err
+		}
+		t.Log = &lc
+	}
 	return t, nil
 }
 
@@ -61,6 +73,11 @@ func (t Tiers) Validate() error {
 			return err
 		}
 	}
+	if t.Log != nil {
+		if err := t.Log.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -70,7 +87,8 @@ const DefaultClientTTL = 500 * time.Millisecond
 
 // String renders the configured tiers compactly and deterministically —
 // the form the advisor prints and docs/ADVISOR.md pins, e.g.
-// "ionode{wb=on ra=off cap=4MB} + client{cap=8MB ttl=12m0s}".
+// "ionode{wb=on ra=off cap=4MB} + client{cap=8MB ttl=12m0s}" or
+// "log{seg=1MB drain=50ms cap=8MB}".
 func (t Tiers) String() string {
 	if !t.Enabled() {
 		return "none (paper default)"
@@ -95,6 +113,23 @@ func (t Tiers) String() string {
 			seg += fmt.Sprintf("ttl=%v", c.LeaseTTL)
 		} else {
 			seg += fmt.Sprintf("ttl=%v (default)", DefaultClientTTL)
+		}
+		parts = append(parts, seg+"}")
+	}
+	if c := t.Log; c != nil {
+		seg := "log{"
+		if c.SegmentBytes > 0 {
+			seg += "seg=" + FormatSize(c.SegmentBytes) + " "
+		} else {
+			seg += "seg=" + FormatSize(DefaultLogSegment) + " "
+		}
+		if c.DrainDeadline > 0 {
+			seg += fmt.Sprintf("drain=%v", c.DrainDeadline)
+		} else {
+			seg += fmt.Sprintf("drain=%v", DefaultLogDrainDeadline)
+		}
+		if c.CapacityBytes > 0 {
+			seg += " cap=" + FormatSize(c.CapacityBytes)
 		}
 		parts = append(parts, seg+"}")
 	}

@@ -40,10 +40,10 @@ type Config struct {
 	// that snapshots the file system's queues and disk busy time at
 	// this virtual period (Result.Samples).
 	SampleInterval time.Duration
-	// Tiers configures the what-if cache hierarchy (I/O-node buffer
-	// cache and/or lease-coherent client tier; see cache.Tiers). The
-	// paper's machine had neither, so canonical runs leave it zero and
-	// stay bit-identical to the golden digests.
+	// Tiers configures the what-if storage hierarchy (I/O-node buffer
+	// cache, lease-coherent client tier, and/or host-side log tier; see
+	// cache.Tiers). The paper's machine had none of them, so canonical
+	// runs leave it zero and stay bit-identical to the golden digests.
 	Tiers cache.Tiers
 	// Faults is the injected fault plan (degraded RAID-3 arrays, I/O-node
 	// crashes with failover, stragglers, flapping clients; see
@@ -173,6 +173,9 @@ type Result struct {
 	// Client holds the client tier's aggregate statistics (the zero
 	// value when the tier was disabled — Client.Nodes is 0 then).
 	Client cache.ClientStats
+	// Log holds the host-side log tier's aggregate statistics (the zero
+	// value when the tier was disabled — Log.Appends is 0 then).
+	Log cache.LogStats
 	// Rerouted counts requests the fault plane's failover path redirected
 	// away from a crashed I/O node (0 on a healthy run).
 	Rerouted uint64
@@ -243,6 +246,7 @@ func RunContext(ctx context.Context, cfg Config, app, version string, script fun
 		IONodes:  p.Machine.FS.IONodeStats(),
 		Cache:    p.Machine.FS.CacheStats(),
 		Client:   p.Machine.FS.ClientStats(),
+		Log:      p.Machine.FS.LogStats(),
 		Rerouted: p.Machine.FS.Rerouted(),
 	}
 	if sampler != nil {

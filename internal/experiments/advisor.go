@@ -99,6 +99,23 @@ func advisorLoops() []advisorLoop {
 		}
 		return rows, nil
 	}
+	// logPool adds the log-tier rungs of the logtier study to the search
+	// space. The read-dominated carbon-monoxide loop keeps its pool
+	// unchanged: the log tier never serves reads, so its rungs cannot be
+	// oracle-best there, and the 256-node reruns are the suite's most
+	// expensive.
+	logPool := func(s *Suite, fetch func(logVariant) (*core.Result, error),
+		opTime func(*core.Result) time.Duration) ([]oracleRow, error) {
+		var rows []oracleRow
+		for _, v := range logTierVariants() {
+			res, err := fetch(v)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, oracleRow{label: "logtier/" + v.id, t: opTime(res)})
+		}
+		return rows, nil
+	}
 	return []advisorLoop{
 		{
 			id:         "eth",
@@ -113,8 +130,17 @@ func advisorLoops() []advisorLoop {
 			headline: "quad_write_s",
 			opTime:   func(res *core.Result) time.Duration { return quadTime(res, pablo.OpWrite) },
 			oracle: func(s *Suite) ([]oracleRow, error) {
-				return cachePool(s, s.EthyleneCached,
+				rows, err := cachePool(s, s.EthyleneCached,
 					func(res *core.Result) time.Duration { return quadTime(res, pablo.OpWrite) })
+				if err != nil {
+					return nil, err
+				}
+				more, err := logPool(s, s.EthyleneLog,
+					func(res *core.Result) time.Duration { return quadTime(res, pablo.OpWrite) })
+				if err != nil {
+					return nil, err
+				}
+				return append(rows, more...), nil
 			},
 		},
 		{
@@ -135,6 +161,11 @@ func advisorLoops() []advisorLoop {
 					return nil, err
 				}
 				more, err := clientPool(s, s.PrismClient, restartReadTime)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, more...)
+				more, err = logPool(s, s.PrismLog, restartReadTime)
 				if err != nil {
 					return nil, err
 				}
@@ -243,7 +274,7 @@ func advisorExp(s *Suite) (*Artifact, error) {
 			"operation under the tiers the advisor derived from the trace " +
 			"(for ESCAT ethylene and PRISM, from the UNTUNED version-A " +
 			"trace). The oracle is the best configuration any existing " +
-			"cachewhatif/clientcache sweep found for that workload — the " +
+			"cachewhatif/clientcache/logtier sweep found for that workload — the " +
 			"advisor does not get to peek at it. The negative findings are " +
 			"load-bearing: recommending read-ahead alongside write-behind " +
 			"would cost PRISM's restart a third of its win (wbra vs wb in " +

@@ -22,8 +22,9 @@ import (
 // M_RECORD hands each node the same records each pass, so the re-reads
 // are node-local reuse a client cache can capture if its capacity and
 // lease TTL cover the inter-sweep compute; and PRISM C mixes the
-// restart read with checkpoint writes, where with both tiers on the
-// client tier and the I/O-node read-ahead interact on the same blocks.
+// restart read with checkpoint writes, where with both block tiers on
+// the client tier and the I/O-node read-ahead interact on the same
+// blocks.
 // Client-off variants reuse the canonical golden-digest runs.
 
 // clientVariant is one point of the client-tier sweep.
@@ -225,7 +226,7 @@ func clientCache(s *Suite) (*Artifact, error) {
 			"partition their files across nodes (the access-pattern fact the " +
 			"paper itself reports), so recall traffic is near nil here; the " +
 			"protocol's coherence cost is exercised by the randomized sharing " +
-			"schedules of the coherence property tests instead. The two tiers " +
+			"schedules of the coherence property tests instead. The block tiers " +
 			"interact rather than add: on PRISM the stack wins twice (the " +
 			"client tier absorbs the restart re-reads, write-behind absorbs " +
 			"the checkpoint), but on carbon monoxide stacking is worse than " +

@@ -38,8 +38,8 @@ func runExp(t *testing.T, id string) *Artifact {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("experiments = %d, want 19 (5 tables + 9 figures + cachewhatif + clientcache + advisor + flushpolicy + faults)", len(all))
+	if len(all) != 20 {
+		t.Fatalf("experiments = %d, want 20 (5 tables + 9 figures + cachewhatif + clientcache + advisor + flushpolicy + faults + logtier)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -22,7 +22,7 @@ import (
 //
 // The key is stable within one build of this repository. It is not an
 // across-versions contract: the serialization carries a version tag
-// ("v2") precisely so a future field addition can revalidate spilled
+// ("v3") precisely so a future field addition can revalidate spilled
 // artifacts by changing it.
 // KeyVersion tags the canonical serialization underneath ConfigKey.
 // Persistent stores that index artifacts by ConfigKey (the iosimd spill
@@ -30,8 +30,8 @@ import (
 // on boot: a mismatch means the canonicalisation changed, so every
 // stored hash is unreachable and the store must be rebuilt. "v2"
 // retired the deprecated Cache alias and added the faults plan to the
-// serialization.
-const KeyVersion = "v2"
+// serialization; "v3" added the host-side log tier (Tiers.Log).
+const KeyVersion = "v3"
 
 func ConfigKey(cfg core.Config, app string) string {
 	h := fnv.New64a()
@@ -66,6 +66,9 @@ func canonicalConfig(cfg core.Config, app string) string {
 	}
 	if tiers.Client != nil {
 		fmt.Fprintf(&b, "|client=%+v", *tiers.Client)
+	}
+	if tiers.Log != nil {
+		fmt.Fprintf(&b, "|log=%+v", *tiers.Log)
 	}
 	if !cfg.Faults.Empty() {
 		// faults.Plan.String is the plan's own canonical rendering

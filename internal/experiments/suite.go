@@ -227,6 +227,7 @@ func All() []Experiment {
 		{ID: "advisor", Title: "Closed loop: advised cache tiers vs oracle-best sweeps", Run: advisorExp},
 		{ID: "flushpolicy", Title: "Flush-policy study: high-water + idle vs deadline write-behind", Run: flushPolicy},
 		{ID: "faults", Title: "Fault study: checkpoint workloads on a degraded machine", Run: faultsExp},
+		{ID: "logtier", Title: "Log tier study: host-side burst buffer vs server write-behind", Run: logTierExp},
 	}
 }
 

@@ -144,13 +144,17 @@ type Result struct {
 	// (queueing included).
 	P50Op, P95Op time.Duration
 	// CacheLabel names the ladder rung for configuration sweeps —
-	// SweepCache, SweepClientCache, SweepFlush, SweepFaults — ("" for
-	// other sweeps).
+	// SweepCache, SweepClientCache, SweepFlush, SweepFaults,
+	// SweepLogTier — ("" for other sweeps).
 	CacheLabel string
 	// Cache aggregates the I/O-node cache tier's counters across all
 	// I/O nodes (zero value when the tier is off) — the flush-policy
 	// sweep reads stall and flush counts from here.
 	Cache cache.Stats
+	// Log holds the host-side log tier's counters (zero value when the
+	// tier is off) — the log-tier sweep reads append, drain, and stall
+	// counts from here.
+	Log cache.LogStats
 	// Fault-plane counters (all zero on a healthy run): Degraded is
 	// array requests served in RAID-3 reconstruction mode, Rerouted is
 	// requests redirected away from a crashed I/O node, Recalls is
@@ -213,7 +217,7 @@ func RunContext(ctx context.Context, p Params) (*Result, error) {
 		return nil, err
 	}
 	out := &Result{Params: p, Wall: res.Exec, TraceLen: res.Trace.Len(),
-		Cache: res.CacheTotals(), trace: res.Trace,
+		Cache: res.CacheTotals(), Log: res.Log, trace: res.Trace,
 		Rerouted: res.Rerouted, Recalls: res.Client.Recalls}
 	for _, ds := range res.IONodes {
 		out.Degraded += ds.Degraded

@@ -240,6 +240,78 @@ func SweepFlush(base Params) ([]*Result, error) {
 	return results, nil
 }
 
+// LogTierConfigs returns the burst-absorption ladder for SweepLogTier:
+// no tier at all, write-behind through a deadline-flushed I/O-node cache
+// (the server-side answer to bursts), the host-side log alone, and the
+// log draining through the block cache. Capacity is held at 2 MB on the
+// write-behind rung so a checkpoint burst overruns it — the regime the
+// log tier is built for.
+func LogTierConfigs() []struct {
+	Label string
+	Tiers cache.Tiers
+} {
+	wb := func() *cache.Config {
+		return &cache.Config{
+			WriteBehind:   true,
+			CapacityBytes: 2 << 20,
+			FlushDeadline: 50 * time.Millisecond,
+		}
+	}
+	return []struct {
+		Label string
+		Tiers cache.Tiers
+	}{
+		{"no-cache", cache.Tiers{}},
+		{"write-behind", cache.Tiers{IONode: wb()}},
+		{"log-tier", cache.Tiers{Log: &cache.LogConfig{}}},
+		{"log+ion", cache.Tiers{Log: &cache.LogConfig{}, IONode: wb()}},
+	}
+}
+
+// SweepLogTier runs one kernel/mode across the log-tier ladder — the
+// host-side burst buffer raced against server-side write-behind.
+func SweepLogTier(base Params) ([]*Result, error) {
+	ladder := LogTierConfigs()
+	params := make([]Params, len(ladder))
+	for i, c := range ladder {
+		params[i] = base
+		params[i].Tiers = c.Tiers
+	}
+	results, err := runSweep(params, func(i int, err error) error {
+		return fmt.Errorf("%s logtier=%s: %w", base.Kernel, ladder[i].Label, err)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		r.CacheLabel = ladder[i].Label
+	}
+	return results, nil
+}
+
+// WriteLogTierTable renders log-tier-sweep results with the tier's own
+// counters: records appended, drain passes, and the two stall kinds
+// (read barriers and capacity backpressure) with their summed wait.
+func WriteLogTierTable(w io.Writer, title string, results []*Result) error {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.CacheLabel,
+			fmt.Sprintf("%.3f", r.Wall.Seconds()),
+			fmt.Sprintf("%.2f", r.BandwidthMBs()),
+			fmt.Sprintf("%.2f", r.P95Op.Seconds()*1000),
+			fmt.Sprintf("%d", r.Log.Appends),
+			fmt.Sprintf("%d", r.Log.Drains),
+			fmt.Sprintf("%d", r.Log.ReadBackStalls),
+			fmt.Sprintf("%d", r.Log.AppendStalls),
+			fmt.Sprintf("%.3f", r.Log.StallWait.Seconds()),
+		})
+	}
+	return report.Table(w, title,
+		[]string{"config", "wall (s)", "MB/s", "p95 (ms)",
+			"appends", "drains", "rd_stalls", "bp_stalls", "stall (s)"}, rows)
+}
+
 // FaultConfigs returns the degraded-mode ladder for SweepFaults: the
 // healthy machine, then each fault kind injected alone. The client-flap
 // rungs carry the lease-coherent client tier (the fault needs leases to

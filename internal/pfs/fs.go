@@ -26,11 +26,13 @@ type Config struct {
 	Costs      Costs       // software-path costs
 	Mesh       *mesh.Mesh  // interconnect model (required)
 	BufSize    int64       // client read-buffer size (default = StripeUnit)
-	// Tiers configures the what-if cache hierarchy: Tiers.IONode installs
-	// a buffer cache on every I/O node, Tiers.Client a lease-coherent
-	// cache on every compute node. Both default to nil — Intel PFS had
-	// neither, so all canonical paper runs leave them off. Zero fields
-	// are defaulted at New; see cache.Tiers.WithDefaults.
+	// Tiers configures the what-if storage hierarchy: Tiers.IONode
+	// installs a buffer cache on every I/O node, Tiers.Client a
+	// lease-coherent cache on every compute node, and Tiers.Log a
+	// per-compute-node log-structured write buffer that drains to the
+	// PFS in the background. Every tier defaults to nil — Intel PFS had
+	// none of them, so all canonical paper runs leave them off. Zero
+	// fields are defaulted at New; see cache.Tiers.WithDefaults.
 	Tiers cache.Tiers
 	// Faults is the injected fault plan: degraded arrays, node crashes,
 	// stragglers, flapping clients, armed as scheduled DES events before
@@ -97,6 +99,7 @@ type FileSystem struct {
 	meta   *sim.Resource
 	ios    []*ioNode
 	client *cache.ClientTier // nil when the client tier is disabled
+	log    *cache.LogTier    // nil when the log tier is disabled
 	files  map[string]*file
 	tracer pablo.Tracer
 
@@ -180,6 +183,14 @@ func New(k *sim.Kernel, cfg Config, tracer pablo.Tracer) (*FileSystem, error) {
 			return nil, err
 		}
 		fs.client = ct
+	}
+	if cfg.Tiers.Log != nil {
+		lt, err := cache.NewLogTier(k, *cfg.Tiers.Log)
+		if err != nil {
+			return nil, err
+		}
+		lt.SetDrainer(fs.drainLog)
+		fs.log = lt
 	}
 	fs.dead = make([]bool, cfg.IONodes)
 	fs.meshSlow = make([]float64, cfg.IONodes)
@@ -355,6 +366,49 @@ func (fs *FileSystem) ClientStats() cache.ClientStats {
 		return cache.ClientStats{}
 	}
 	return fs.client.Stats()
+}
+
+// LogCaching reports whether the host-side log tier is enabled.
+func (fs *FileSystem) LogCaching() bool { return fs.log != nil }
+
+// LogTier returns the host-side log tier, or nil when disabled. Tests
+// use it to install the replay oracle's observer and to force crashes.
+func (fs *FileSystem) LogTier() *cache.LogTier { return fs.log }
+
+// LogStats returns the log tier's aggregate statistics (the zero value
+// when the tier is disabled).
+func (fs *FileSystem) LogStats() cache.LogStats {
+	if fs.log == nil {
+		return cache.LogStats{}
+	}
+	return fs.log.Stats()
+}
+
+// drainLog is the log tier's drain sink: it writes one batch of logged
+// records through the regular PFS data path — per-record chunking, mesh
+// transfer, FIFO disk service, fault-plane routing (crashed-node
+// failover, straggler stretch) — and calls done when the slowest record
+// finishes. It runs from lane-0 events (drain timers), and each
+// record's completion crosses back to the sequential plane through
+// serveIONodeFn's Shard.Deferred, so the join counter is race-free.
+func (fs *FileSystem) drainLog(batch []cache.LogRecord, done func()) {
+	remaining := 0
+	for _, r := range batch {
+		f := fs.lookup(r.Stream, true)
+		lists, ios := fs.chunksByIONode(f, r.Off, r.Size)
+		for _, io := range ios {
+			remaining++
+			fs.serveIONodeFn(r.Node, f, io, lists[io], true, func() {
+				remaining--
+				if remaining == 0 {
+					done()
+				}
+			})
+		}
+	}
+	if remaining == 0 {
+		done()
+	}
 }
 
 // lookup returns the file record, creating it if requested.

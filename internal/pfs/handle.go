@@ -74,6 +74,15 @@ func (h *Handle) readData(p *sim.Proc, off, n int64) {
 	if n <= 0 {
 		return
 	}
+	if lg := h.fs.log; lg != nil {
+		// Read-your-writes barrier: a read overlapping records still
+		// sitting in the host-side log must wait for the drain to catch
+		// up through them — the stall that makes the log tier a poor fit
+		// for read-after-write-resident streams (restart reads).
+		if seq := lg.ReadBarrier(h.f.name, off, n); seq > 0 {
+			lg.Wait(p, h.node, seq, true)
+		}
+	}
 	if ct := h.fs.client; ct != nil {
 		// The client tier subsumes the legacy read buffer (which has no
 		// invalidation protocol — the reason PRISM's version C turned it
@@ -137,6 +146,22 @@ func (h *Handle) writeData(p *sim.Proc, off, n int64) {
 		if d := ct.Write(h.node, h.f.name, off, n); d > 0 {
 			p.Wait(d)
 		}
+	}
+	if lg := h.fs.log; lg != nil {
+		// Host-side log: absorb the write at memory speed and let the
+		// background drain move it to the PFS. Backpressure blocks the
+		// appender when the undrained backlog exceeds the tier's
+		// capacity, so a burst larger than the buffer still pays.
+		cost, stall := lg.Append(h.node, h.f.name, off, n)
+		if stall > 0 {
+			lg.Wait(p, h.node, stall, false)
+		}
+		p.Wait(cost)
+		if off+n > h.f.size {
+			h.f.size = off + n
+		}
+		h.bufOff, h.bufLen = 0, 0
+		return
 	}
 	h.fs.xfer(p, h.node, h.f, off, n, true)
 	if off+n > h.f.size {

@@ -68,6 +68,15 @@ const (
 	// shared I/O-node cache adds lookup cost with no sharing to exploit
 	// (the carbon-monoxide case where no server-side cache wins).
 	AvoidIONodeCache
+	// CacheLogTier: a write-dominated stream with no read-back; a
+	// host-side log absorbs the bursts at memory speed and drains
+	// sequentially in the background.
+	CacheLogTier
+	// AvoidLogTier: the stream reads back what it just wrote; logged
+	// records force every such read to wait out the drain, while a
+	// write-behind block cache serves them from resident dirty blocks —
+	// the RAW-resident restart case where the log tier loses.
+	AvoidLogTier
 )
 
 var kindNames = map[Kind]string{
@@ -87,6 +96,8 @@ var kindNames = map[Kind]string{
 	CacheClientTier:     "cache-client-tier",
 	CacheClientTTL:      "cache-client-ttl",
 	AvoidIONodeCache:    "avoid-ionode-cache",
+	CacheLogTier:        "cache-log-tier",
+	AvoidLogTier:        "avoid-log-tier",
 }
 
 // String returns the recommendation's slug.

@@ -75,7 +75,14 @@ type cacheSignals struct {
 	rawHeavy    bool // ... because reads land on just-written blocks
 	client      bool // per-node private reuse worth a client tier
 	ttl         time.Duration
+	logTier     bool // write-dominated burst stream worth a host-side log
+	avoidLog    bool // read-back would stall on the drain; keep the log off
 }
+
+// minLogBytes is the smallest written volume worth a host-side log: a
+// stream below it fits in a single drain batch anyway, so the tier's
+// append machinery buys nothing.
+const minLogBytes = 4 << 20
 
 func evalCacheSignals(p *Profile, opt CacheOptions) cacheSignals {
 	var s cacheSignals
@@ -94,6 +101,17 @@ func evalCacheSignals(p *Profile, opt CacheOptions) cacheSignals {
 			p.ReuseReadFrac < 0.25 && p.ReadOpsPerBlock <= 2
 		if s.client {
 			s.ttl = leaseTTLFor(p)
+		}
+	}
+	if p.Writes >= opt.MinOps && p.BytesWritten >= minLogBytes {
+		// The log tier wants pure write bursts: enough volume to matter,
+		// write time dominating, and (the hard requirement) no read-back
+		// — every read overlapping an undrained record stalls on the
+		// drain, so RAW streams belong to the block cache instead.
+		if p.ReadAfterWriteFrac >= 0.5 && p.Reads >= opt.MinOps {
+			s.avoidLog = true
+		} else if p.ReadAfterWriteFrac < 0.25 && p.WriteTime >= 2*p.ReadTime {
+			s.logTier = true
 		}
 	}
 	return s
@@ -176,6 +194,19 @@ func AdviseCache(p *Profile, opt CacheOptions) []Recommendation {
 			"reads are node-private (%.0f%% shared); a server-side cache adds lookup cost with nothing to share",
 			100*p.SharedReadFrac))
 	}
+	if s.logTier {
+		capBytes := clampPow2(p.WriteWS, cache.DefaultLogCapacity, 64<<20)
+		add(CacheLogTier,
+			&cache.Tiers{Log: &cache.LogConfig{CapacityBytes: capBytes}},
+			fmt.Sprintf(
+				"%s written with %.0f%% read-back; a host-side log absorbs the bursts at memory speed and drains sequentially",
+				cache.FormatSize(p.BytesWritten), 100*p.ReadAfterWriteFrac))
+	}
+	if s.avoidLog {
+		add(AvoidLogTier, nil, fmt.Sprintf(
+			"%.0f%% of read touches land on just-written blocks; logged records would stall every such read on the drain, while write-behind serves them from resident dirty blocks",
+			100*p.ReadAfterWriteFrac))
+	}
 	return out
 }
 
@@ -222,6 +253,11 @@ func AdviseTiers(profiles map[string]*Profile, opt CacheOptions) TiersPlan {
 		clientTTL    time.Duration
 		antiFile     string // heaviest file arguing against the tier
 		antiFileCost time.Duration
+		logOn        bool
+		logVeto      bool
+		logWS        int64  // summed write working sets behind the log
+		logVetoFile  string // heaviest RAW file vetoing the log tier
+		logVetoCost  time.Duration
 	)
 	for _, f := range files {
 		p := profiles[f]
@@ -255,6 +291,17 @@ func AdviseTiers(profiles map[string]*Profile, opt CacheOptions) TiersPlan {
 				clientTTL = s.ttl
 			}
 		}
+		if s.logTier {
+			logOn = true
+			logWS += p.WriteWS
+		}
+		if s.avoidLog {
+			logVeto = true
+			logWS += p.WriteWS
+			if p.ReadTime > logVetoCost {
+				logVetoCost, logVetoFile = p.ReadTime, f
+			}
+		}
 	}
 
 	if wbOn || capOn || raOn {
@@ -283,6 +330,29 @@ func AdviseTiers(profiles map[string]*Profile, opt CacheOptions) TiersPlan {
 			LeaseTTL:      clientTTL,
 		}
 		plan.Tiers.Client = cc
+	}
+	if logOn || logVeto {
+		// RAW read-back vetoes the log tier only on a machine without a
+		// write-behind block cache: log-only forces every read-back to
+		// the disks (or onto the drain barrier), while drains through a
+		// write-behind tier leave the blocks resident — read-back then
+		// costs the same as write-behind alone and appends still skip
+		// the mesh round trip entirely.
+		wb := plan.Tiers.IONode != nil && plan.Tiers.IONode.WriteBehind
+		if logVeto && !wb {
+			plan.Notes = append(plan.Notes, fmt.Sprintf(
+				"log tier left off: %s reads back what it writes (%v of reads) and no block cache would hold the drained blocks, so every read-back pays disk or drain-barrier cost (the RAW-resident restart case)",
+				logVetoFile, logVetoCost.Round(time.Second)))
+		} else {
+			plan.Tiers.Log = &cache.LogConfig{
+				CapacityBytes: clampPow2(logWS, cache.DefaultLogCapacity, 64<<20),
+			}
+			if logVeto {
+				plan.Notes = append(plan.Notes, fmt.Sprintf(
+					"log tier enabled alongside write-behind: %s reads back what it writes, but drains land in the block cache so read-back stays resident while appends bypass the mesh",
+					logVetoFile))
+			}
+		}
 	}
 	adviseFaults(&plan, opt)
 	return plan
@@ -321,6 +391,16 @@ func adviseFaults(plan *TiersPlan, opt CacheOptions) {
 		plan.Tiers.IONode.FlushDeadline = faultRiskFlushDeadline
 		plan.Notes = append(plan.Notes, fmt.Sprintf(
 			"flush deadline tightened to %v: the fault plan degrades the array, and every write-behind-acknowledged dirty block is exposure until it reaches the disks",
+			faultRiskFlushDeadline))
+	}
+	if arraySide && plan.Tiers.Log != nil &&
+		(plan.Tiers.Log.DrainDeadline == 0 || plan.Tiers.Log.DrainDeadline > faultRiskFlushDeadline) {
+		// The log tier's default drain deadline already equals the
+		// fault-risk bound, but an explicit value pins the exposure
+		// argument in the plan (and survives future default changes).
+		plan.Tiers.Log.DrainDeadline = faultRiskFlushDeadline
+		plan.Notes = append(plan.Notes, fmt.Sprintf(
+			"log drain deadline pinned at %v: the fault plan degrades the array, and every logged record is exposure until the drain lands it",
 			faultRiskFlushDeadline))
 	}
 	if flap && plan.Tiers.Client != nil && plan.Tiers.Client.LeaseTTL > cache.DefaultClientTTL {

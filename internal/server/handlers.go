@@ -70,6 +70,7 @@ type FaultRequest struct {
 type TiersRequest struct {
 	IONode *IONodeTierRequest `json:"ionode,omitempty"`
 	Client *ClientTierRequest `json:"client,omitempty"`
+	Log    *LogTierRequest    `json:"log,omitempty"`
 }
 
 // IONodeTierRequest configures the I/O-node buffer cache tier.
@@ -84,6 +85,16 @@ type IONodeTierRequest struct {
 type ClientTierRequest struct {
 	CapacityBytes int64 `json:"capacity_bytes,omitempty"`
 	LeaseTTLMS    int64 `json:"lease_ttl_ms,omitempty"`
+}
+
+// LogTierRequest configures the per-compute-node log-structured write
+// buffer. `{}` selects the documented defaults (8 MB capacity, 1 MB
+// segments, 50 ms drain deadline).
+type LogTierRequest struct {
+	CapacityBytes   int64 `json:"capacity_bytes,omitempty"`
+	SegmentBytes    int64 `json:"segment_bytes,omitempty"`
+	DrainBatch      int   `json:"drain_batch,omitempty"`
+	DrainDeadlineMS int64 `json:"drain_deadline_ms,omitempty"`
 }
 
 // SimulateResponse is the JSON summary of one run.
@@ -107,6 +118,7 @@ type SimulateResponse struct {
 
 	Cache   *cache.Stats       `json:"cache,omitempty"`   // I/O-node tier totals
 	Client  *cache.ClientStats `json:"client,omitempty"`  // client tier totals
+	Log     *cache.LogStats    `json:"log,omitempty"`     // log tier totals
 	Samples []SampleRow        `json:"samples,omitempty"` // utilization samples
 }
 
@@ -337,6 +349,14 @@ func (r *SimulateRequest) config() core.Config {
 			cfg.Tiers.Client = &cache.ClientConfig{
 				CapacityBytes: cl.CapacityBytes,
 				LeaseTTL:      time.Duration(cl.LeaseTTLMS) * time.Millisecond,
+			}
+		}
+		if lg := t.Log; lg != nil {
+			cfg.Tiers.Log = &cache.LogConfig{
+				CapacityBytes: lg.CapacityBytes,
+				SegmentBytes:  lg.SegmentBytes,
+				DrainBatch:    lg.DrainBatch,
+				DrainDeadline: time.Duration(lg.DrainDeadlineMS) * time.Millisecond,
 			}
 		}
 	}
@@ -691,6 +711,10 @@ func buildSimulateResponse(req *SimulateRequest, key string, res *core.Result) *
 	if res.Client.Nodes > 0 {
 		cl := res.Client
 		resp.Client = &cl
+	}
+	if res.Log.Nodes > 0 {
+		lg := res.Log
+		resp.Log = &lg
 	}
 	for _, smp := range res.Samples {
 		maxQ := 0

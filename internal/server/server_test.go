@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"paragonio/internal/cache"
 	"paragonio/internal/core"
 	"paragonio/internal/pablo"
 )
@@ -266,6 +267,56 @@ func TestSimulateFaultsBlock(t *testing.T) {
 	}
 	if s.faultRuns.Value() != 1 {
 		t.Errorf("healthy run moved the fault-runs counter to %d", s.faultRuns.Value())
+	}
+}
+
+// TestSimulateLogTierBlock pins the third tier's API surface: the
+// tiers.log block reaches the engine as a cache.LogConfig, the log
+// counters come back in the response, and the tier is part of the
+// content address.
+func TestSimulateLogTierBlock(t *testing.T) {
+	var got core.Config
+	capture := func(ctx context.Context, req *SimulateRequest, cfg core.Config) (*core.Result, error) {
+		got = cfg
+		res, err := stubRun(ctx, req, cfg)
+		if err == nil && cfg.Tiers.Log != nil {
+			res.Log = cache.LogStats{Appends: 512, Drains: 64, Nodes: 4}
+		}
+		return res, err
+	}
+	s := newTestServer(t, Config{}, capture)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const logged = `{"app":"prism","version":"C",
+		"tiers":{"log":{"segment_bytes":262144,"drain_deadline_ms":10}}}`
+	resp, out := postJSON(t, ts, "/v1/simulate", logged)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	if got.Tiers.Log == nil {
+		t.Fatal("engine saw no log tier")
+	}
+	if got.Tiers.Log.SegmentBytes != 262144 || got.Tiers.Log.DrainDeadline != 10*time.Millisecond {
+		t.Errorf("engine saw log config %+v", got.Tiers.Log)
+	}
+	var withLog SimulateResponse
+	if err := json.Unmarshal(out, &withLog); err != nil {
+		t.Fatal(err)
+	}
+	if withLog.Log == nil || withLog.Log.Appends != 512 {
+		t.Errorf("response log block = %+v", withLog.Log)
+	}
+	_, out = postJSON(t, ts, "/v1/simulate", `{"app":"prism","version":"C"}`)
+	var plain SimulateResponse
+	if err := json.Unmarshal(out, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Log != nil {
+		t.Errorf("tier-off response carries a log block: %+v", plain.Log)
+	}
+	if withLog.Hash == plain.Hash {
+		t.Error("log-tier run shares the tier-off run's content address")
 	}
 }
 

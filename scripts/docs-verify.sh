@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # docs-verify: extract every ```sh code fence from README.md,
-# docs/ADVISOR.md, and docs/SERVICE.md and execute the commands in
-# order, so the documented quickstarts cannot rot. Commands run from the
+# docs/ADVISOR.md, docs/SERVICE.md, and docs/TIERS.md and execute the
+# commands in order, so the documented quickstarts cannot rot. Commands run from the
 # repository root in one shell (later commands may read files earlier
 # ones wrote, e.g. the iosim -trace / iotrace advise pair); the first
 # failure fails the run. Long-running foreground examples (like the
@@ -15,7 +15,7 @@ trap 'rm -f "$tmp"' EXIT
 
 {
     echo 'set -euo pipefail'
-    for doc in README.md docs/ADVISOR.md docs/SERVICE.md; do
+    for doc in README.md docs/ADVISOR.md docs/SERVICE.md docs/TIERS.md; do
         echo "echo \"### commands from $doc\""
         awk '/^```sh$/ { f = 1; next } /^```$/ { f = 0 } f' "$doc"
     done

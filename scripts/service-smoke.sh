@@ -5,8 +5,10 @@
 # content-addressed cache hit on the identical re-request, a batched
 # sweep whose repeated grid dedups entirely against the cache, a
 # degraded (fault-injected) run pinned to its own golden digest with a
-# structured 400 on a malformed faults block, and a kill-and-restart
-# proving the spill directory warm-starts the index.
+# structured 400 on a malformed faults block, a log-tier run pinned to
+# the log-on golden digest with the log stats block in the response,
+# and a kill-and-restart proving the spill directory warm-starts the
+# index.
 # The daemon is killed on exit either way.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -92,7 +94,18 @@ grep -q '"code":"invalid_request"' "$work/err.json"
 grep -q '"field":"faults"' "$work/err.json"
 grep -q 'unknown kind' "$work/err.json"
 
-# 9. Warm restart: kill the daemon, boot a fresh one on the same spill
+# 9. The third cache tier over HTTP: prism/C with the log tier at its
+#    defaults is a distinct fresh run pinned to the log-on golden
+#    digest, and the response carries the log stats block (the drain
+#    finished, so every append drained).
+log_req='{"app":"prism","version":"C","tiers":{"log":{}}}'
+logged=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$log_req" "$base/v1/simulate")
+echo "$logged" | grep -q '"cached":false'
+echo "$logged" | grep -q '"digest":"0x162463d0c4c76706"'
+echo "$logged" | grep -q '"log":{'
+echo "$logged" | grep -q '"Appends":4403'
+
+# 10. Warm restart: kill the daemon, boot a fresh one on the same spill
 #    directory, and the old run is answered from disk without touching
 #    the engine.
 kill "$pid"
@@ -100,7 +113,7 @@ wait "$pid" 2>/dev/null || true
 pid=""
 boot "$work/out2.log" -spill "$work/spill"
 echo "service-smoke: restarted at $base"
-grep -q '^iosimd: warm start: 3 result artifacts indexed' "$work/out2.log"
+grep -q '^iosimd: warm start: 4 result artifacts indexed' "$work/out2.log"
 warm=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$req" "$base/v1/simulate")
 echo "$warm" | grep -q '"cached":true'
 echo "$warm" | grep -q '"digest":"0xbc010fbf3debceec"'
